@@ -1,0 +1,77 @@
+//! Byzantine strategies against the consensus-message baselines.
+
+use crate::consensus::BaMsg;
+use byzclock_core::SlotMsg;
+use byzclock_sim::{Adversary, AdversaryView, ByzOutbox};
+
+/// Equivocates every consensus exchange: each recipient is told a value
+/// from a different camp (`to % 2`). When a Byzantine node is the
+/// king/queen of a phase, this is exactly the equivocating-royalty attack
+/// that separates `n > 4f` from `n > 3f` protocols (experiment R1).
+///
+/// The pipeline accepts one message per `(sender, slot)`, so the flavor of
+/// the lie is chosen per slot: `mixed_bits` rotates Val/Bit/BitProp lies
+/// (to reach the phase-king's binary rounds); without it, every slot gets
+/// a value lie (the queen protocol parses values in all of its rounds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaEquivocator {
+    /// Pipeline depth to cover (slots `0..depth`).
+    pub depth: u8,
+    /// Rotate binary-round lies into the mix (for phase-king targets).
+    pub mixed_bits: bool,
+}
+
+impl Adversary<SlotMsg<BaMsg>> for BaEquivocator {
+    fn act(
+        &mut self,
+        view: &AdversaryView<'_, SlotMsg<BaMsg>>,
+        out: &mut ByzOutbox<'_, SlotMsg<BaMsg>>,
+    ) {
+        for &b in view.byzantine() {
+            for slot in 0..self.depth {
+                for to in view.all_ids() {
+                    let camp = u64::from(to.raw() % 2);
+                    let msg = if self.mixed_bits {
+                        match slot % 3 {
+                            0 => BaMsg::Val(camp),
+                            1 => BaMsg::Bit(camp == 0),
+                            _ => BaMsg::BitProp(Some(camp == 0)),
+                        }
+                    } else {
+                        BaMsg::Val(camp)
+                    };
+                    out.send(b, to, SlotMsg { slot, msg });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pk_clock::{PhaseKingScheme, PkClock};
+    use byzclock_core::run_until_stable_sync;
+    use byzclock_sim::{Application, SimBuilder};
+
+    /// The phase-king clock tolerates the equivocator at f < n/3 — even
+    /// with the Byzantine node owning the first king phase.
+    #[test]
+    fn pk_clock_survives_equivocating_king() {
+        let mut sim = SimBuilder::new(7, 2)
+            .seed(5)
+            .byzantine([0u16, 1])
+            .build(
+                |cfg, rng| {
+                    let mut c = PkClock::new(PhaseKingScheme::new(cfg), 32);
+                    c.corrupt(rng);
+                    c
+                },
+                BaEquivocator { depth: 11, mixed_bits: true },
+            );
+        assert!(
+            run_until_stable_sync(&mut sim, 2_000, 8).is_some(),
+            "phase-king clock must survive equivocating kings at f < n/3"
+        );
+    }
+}

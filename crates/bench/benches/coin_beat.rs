@@ -1,0 +1,29 @@
+//! Cost of one beat of `ss-Byz-Coin-Flip` (Fig. 1) over the GVSS ticket
+//! coin, as cluster size grows — the wall-clock side of experiment F1.
+
+use byzclock_coin::{CoinApp, TicketCoinScheme};
+use byzclock_sim::{SilentAdversary, SimBuilder, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn coin_sim(n: usize, f: usize) -> Simulation<CoinApp<TicketCoinScheme>, SilentAdversary> {
+    let mut sim = SimBuilder::new(n, f)
+        .seed(1)
+        .build(|cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng), SilentAdversary);
+    sim.run_beats(8); // warm pipeline
+    sim
+}
+
+fn bench_coin_beat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coin_beat");
+    group.sample_size(20);
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (10, 3)] {
+        let mut sim = coin_sim(n, f);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coin_beat);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Wall-clock time of full convergence runs (Monte-Carlo inner loop of
+//! experiment T1), per algorithm.
+
+use byzclock_baselines::{DwClock, PhaseKingScheme, PkClock};
+use byzclock_coin::ticket_clock_sync;
+use byzclock_core::run_until_stable_sync;
+use byzclock_sim::{Application, SilentAdversary, SimBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_run");
+    group.sample_size(10);
+
+    let mut seed = 0u64;
+    group.bench_function("clock_sync_ticket_n7_k64", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
+                |cfg, rng| {
+                    let mut a = ticket_clock_sync(cfg, 64, rng);
+                    a.corrupt(rng);
+                    a
+                },
+                SilentAdversary,
+            );
+            black_box(run_until_stable_sync(&mut sim, 5_000, 8))
+        })
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("pk_clock_n7_k64", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
+                |cfg, rng| {
+                    let mut a = PkClock::new(PhaseKingScheme::new(cfg), 64);
+                    a.corrupt(rng);
+                    a
+                },
+                SilentAdversary,
+            );
+            black_box(run_until_stable_sync(&mut sim, 5_000, 8))
+        })
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("dw_clock_n4_k2", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut sim = SimBuilder::new(4, 1).seed(seed).build(
+                |cfg, rng| {
+                    let mut a = DwClock::new(cfg, 2);
+                    a.corrupt(rng);
+                    a
+                },
+                SilentAdversary,
+            );
+            black_box(run_until_stable_sync(&mut sim, 100_000, 8))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

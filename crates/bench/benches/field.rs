@@ -1,0 +1,45 @@
+//! Substrate micro-benchmarks: the field/coding kernels the coin's recover
+//! round leans on (Berlekamp–Welch dominates the per-beat cost).
+
+use byzclock_field::{rs, Fp, Poly};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn shares(fp: &Fp, f: usize, n: usize, errors: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let poly = Poly::random_with_secret(fp, fp.sample(&mut rng), f, &mut rng);
+    let mut pts: Vec<(u64, u64)> = (1..=n as u64).map(|x| (x, poly.eval(fp, x))).collect();
+    for p in pts.iter_mut().take(errors) {
+        p.1 = fp.add(p.1, 1);
+    }
+    pts
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("berlekamp_welch");
+    for &(n, f) in &[(4usize, 1usize), (7, 2), (13, 4)] {
+        let fp = Fp::for_cluster(n);
+        let clean = shares(&fp, f, n, 0, 7);
+        let dirty = shares(&fp, f, n, f, 8);
+        group.bench_with_input(BenchmarkId::new("clean", n), &clean, |b, pts| {
+            b.iter(|| rs::decode(&fp, black_box(pts), f))
+        });
+        group.bench_with_input(BenchmarkId::new("f_errors", n), &dirty, |b, pts| {
+            b.iter(|| rs::decode(&fp, black_box(pts), f))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolate(c: &mut Criterion) {
+    let fp = Fp::for_cluster(13);
+    let pts = shares(&fp, 4, 13, 0, 9);
+    c.bench_function("lagrange_interpolate_13", |b| {
+        b.iter(|| Poly::interpolate(&fp, black_box(&pts[..5])))
+    });
+}
+
+criterion_group!(benches, bench_decode, bench_interpolate);
+criterion_main!(benches);

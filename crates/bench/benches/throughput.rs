@@ -1,0 +1,37 @@
+//! Simulation throughput: beats per second of the converged full stack —
+//! how much experiment horizon a laptop buys.
+
+use byzclock_coin::ticket_clock_sync;
+use byzclock_core::{run_until_stable_sync, OracleBeacon, ClockSync};
+use byzclock_sim::{SilentAdversary, SimBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beat_throughput");
+    group.sample_size(20);
+
+    // Full stack with the GVSS coin (the expensive, faithful configuration).
+    let mut sim = SimBuilder::new(7, 2)
+        .seed(3)
+        .build(|cfg, rng| ticket_clock_sync(cfg, 64, rng), SilentAdversary);
+    run_until_stable_sync(&mut sim, 3_000, 8).expect("converges");
+    group.bench_function("clock_sync_ticket_n7", |b| b.iter(|| sim.step()));
+
+    // Oracle-coin configuration (the cheap one used for k-sweeps).
+    let b1 = OracleBeacon::perfect(1);
+    let b2 = OracleBeacon::perfect(2);
+    let b3 = OracleBeacon::perfect(3);
+    let mut sim = SimBuilder::new(7, 2).seed(4).build(
+        move |cfg, _rng| {
+            ClockSync::new(cfg, 64, b1.source(cfg.id), b2.source(cfg.id), b3.source(cfg.id))
+        },
+        SilentAdversary,
+    );
+    run_until_stable_sync(&mut sim, 3_000, 8).expect("converges");
+    group.bench_function("clock_sync_oracle_n7", |b| b.iter(|| sim.step()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Measurement utilities for the reproduction harness.
+//!
+//! The `experiments` binary (see `src/bin/experiments.rs`) regenerates
+//! every table and figure of the paper; this library holds the shared
+//! plumbing: parallel Monte-Carlo trials, summary statistics, and Markdown
+//! table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Summary statistics over convergence-time samples; `None` samples are
+/// timeouts at the experiment's horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of trials.
+    pub trials: usize,
+    /// Trials that did not converge within the horizon.
+    pub timeouts: usize,
+    /// Mean over converged trials.
+    pub mean: f64,
+    /// Median over converged trials.
+    pub p50: f64,
+    /// 95th percentile over converged trials.
+    pub p95: f64,
+    /// Maximum over converged trials.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarizes samples (`None` = timeout).
+    pub fn of(samples: &[Option<u64>]) -> Summary {
+        let mut ok: Vec<u64> = samples.iter().flatten().copied().collect();
+        ok.sort_unstable();
+        let timeouts = samples.len() - ok.len();
+        if ok.is_empty() {
+            return Summary {
+                trials: samples.len(),
+                timeouts,
+                mean: f64::NAN,
+                p50: f64::NAN,
+                p95: f64::NAN,
+                max: 0,
+            };
+        }
+        let mean = ok.iter().map(|&x| x as f64).sum::<f64>() / ok.len() as f64;
+        let pct = |q: f64| -> f64 {
+            let idx = ((ok.len() as f64 - 1.0) * q).round() as usize;
+            ok[idx] as f64
+        };
+        Summary {
+            trials: samples.len(),
+            timeouts,
+            mean,
+            p50: pct(0.5),
+            p95: pct(0.95),
+            max: *ok.last().expect("nonempty"),
+        }
+    }
+
+    /// Compact cell text: `mean (p95)`, with a timeout annotation.
+    pub fn cell(&self, horizon: u64) -> String {
+        if self.timeouts == self.trials {
+            return format!("> {horizon} (all {} timed out)", self.trials);
+        }
+        let mut s = format!("{:.1} (p95 {:.0})", self.mean, self.p95);
+        if self.timeouts > 0 {
+            let _ = write!(s, " [{}/{} > {horizon}]", self.timeouts, self.trials);
+        }
+        s
+    }
+}
+
+/// Runs `trials` seeded trials in parallel (scoped threads) and returns
+/// the results in seed order. `run` must be deterministic in the seed.
+pub fn parallel_trials<T, F>(trials: u64, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let chunk_size = (trials as usize / threads).max(1) + 1;
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+            let run = &run;
+            let base = (chunk_idx * chunk_size) as u64;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(run(base + i as u64));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+/// Renders a Markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Number of worker threads to use (respects `BYZCLOCK_THREADS`).
+pub fn default_threads() -> usize {
+    std::env::var("BYZCLOCK_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        })
+}
+
+/// Trials knob (respects `BYZCLOCK_TRIALS`), default `base`.
+pub fn trials(base: u64) -> u64 {
+    std::env::var("BYZCLOCK_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[Some(10), Some(20), Some(30), None]);
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.timeouts, 1);
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        assert_eq!(s.p50, 20.0);
+        assert_eq!(s.max, 30);
+    }
+
+    #[test]
+    fn summary_all_timeouts() {
+        let s = Summary::of(&[None, None]);
+        assert_eq!(s.timeouts, 2);
+        assert!(s.mean.is_nan());
+        assert!(s.cell(100).contains("> 100"));
+    }
+
+    #[test]
+    fn parallel_trials_are_seed_ordered() {
+        let out = parallel_trials(17, 4, |seed| seed * 2);
+        assert_eq!(out, (0..17).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn md_table_shape() {
+        let t = md_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

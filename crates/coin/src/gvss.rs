@@ -1,0 +1,573 @@
+//! The graded verifiable secret sharing core (Observation 2.1's substrate).
+//!
+//! One [`GvssCore`] drives the four rounds of a single coin instance in
+//! which *every* node deals a batch of `targets` secrets:
+//!
+//! 1. **share** — dealer `d` hides each secret in a symmetric bivariate
+//!    polynomial of degree `f` and sends node `i` the rows `S(x, i)`;
+//! 2. **echo** — node `i` sends node `m` the cross-points `S(m, i)`;
+//!    symmetry makes them checkable against `m`'s own rows;
+//! 3. **vote** — node `i` broadcasts, per dealer, whether at least `n − f`
+//!    echo senders matched its rows on every target (`content`). Grades
+//!    are then fixed locally: `2` at `n − f` content votes, `1` at
+//!    `n − 2f`. If the dealer is correct every correct node grades 2; if
+//!    any correct node grades 2, every correct node grades at least 1
+//!    (vote counts at two correct nodes differ by at most the `f`
+//!    equivocating voters);
+//! 4. **recover** — everyone broadcasts its shares `S(0, i)`; each secret
+//!    is reconstructed by Berlekamp–Welch, which tolerates the `f` lying
+//!    shares, so revealing is *binding* even against recover-round rushing.
+//!
+//! Until round 4 begins, any coalition of `f` nodes holds only `f` points
+//! of degree-`f` polynomials for every correct dealer's secrets —
+//! information-theoretically nothing (Definition 2.6's unpredictability).
+
+use crate::messages::{check_matrix, CoinMsg};
+use byzclock_field::{rs, Fp, Poly, SymmetricBivariate};
+use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
+use rand::Rng;
+
+/// Grade of a dealer at this node after the vote round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Grade {
+    /// Rejected: fewer than `n − 2f` content votes.
+    Zero,
+    /// Accepted, but other correct nodes might have rejected.
+    One,
+    /// Accepted with certainty that every correct node accepted.
+    Two,
+}
+
+/// Per-instance GVSS state for one node: its own dealings plus its view of
+/// every other dealer.
+#[derive(Debug)]
+pub struct GvssCore {
+    cfg: NodeCfg,
+    fp: Fp,
+    targets: usize,
+    /// My dealings (as dealer), one bivariate per target. Filled at round 0.
+    dealt: Vec<SymmetricBivariate>,
+    /// My secret values (the constant terms of `dealt`).
+    my_secrets: Vec<u64>,
+    /// `[dealer] -> my rows` (one polynomial per target).
+    rows: Vec<Option<Vec<Poly>>>,
+    /// `[dealer][sender] -> all targets matched my rows`.
+    matches: Vec<Vec<bool>>,
+    /// `[dealer][voter] -> content vote received`.
+    votes: Vec<Vec<bool>>,
+    /// `[dealer] -> grade` (fixed at the end of the vote round).
+    grades: Vec<Grade>,
+    /// `[dealer][target] -> recovered value` (None = decode failed).
+    recovered: Vec<Vec<Option<u64>>>,
+}
+
+impl GvssCore {
+    /// Fresh instance state. `targets` is the per-dealer secret count.
+    pub fn new(cfg: NodeCfg, targets: usize) -> Self {
+        let n = cfg.n;
+        GvssCore {
+            cfg,
+            fp: Fp::for_cluster(n),
+            targets,
+            dealt: Vec::new(),
+            my_secrets: Vec::new(),
+            rows: vec![None; n],
+            matches: vec![vec![false; n]; n],
+            votes: vec![vec![false; n]; n],
+            grades: vec![Grade::Zero; n],
+            recovered: vec![vec![None; targets]; n],
+        }
+    }
+
+    /// The field in use (`p` = smallest prime above `n`).
+    pub fn field(&self) -> &Fp {
+        &self.fp
+    }
+
+    /// My dealt secret values (empty before round 0).
+    pub fn my_secrets(&self) -> &[u64] {
+        &self.my_secrets
+    }
+
+    /// The grade assigned to `dealer`.
+    pub fn grade(&self, dealer: NodeId) -> Grade {
+        self.grades[dealer.index()]
+    }
+
+    /// Dealers included in the combine step (grade ≥ 1).
+    pub fn included(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.grades
+            .iter()
+            .enumerate()
+            .filter(|&(_, g)| *g >= Grade::One)
+            .map(|(d, _)| NodeId::new(d as u16))
+    }
+
+    /// Recovered value of `dealer`'s `target`-th secret (None until the
+    /// recover round, or when decoding failed).
+    pub fn recovered(&self, dealer: NodeId, target: usize) -> Option<u64> {
+        self.recovered[dealer.index()][target]
+    }
+
+    /// Round 0 send: deal my batch. `sample` draws each secret (e.g.
+    /// uniform in `[0, n)` for tickets, `{0, 1}` for the XOR coin).
+    pub fn send_share(
+        &mut self,
+        rng: &mut SimRng,
+        mut sample: impl FnMut(&mut SimRng) -> u64,
+        out: &mut Vec<(Target, CoinMsg)>,
+    ) {
+        let f = self.cfg.f;
+        self.my_secrets = (0..self.targets).map(|_| sample(rng) % self.fp.modulus()).collect();
+        self.dealt = self
+            .my_secrets
+            .iter()
+            .map(|&s| SymmetricBivariate::random_with_secret(&self.fp, s, f, rng))
+            .collect();
+        for to in self.cfg.all_ids() {
+            let rows: Vec<Vec<u64>> = self
+                .dealt
+                .iter()
+                .map(|biv| biv.row(&self.fp, to.share_point()).into_coeffs())
+                .collect();
+            out.push((Target::One(to), CoinMsg::Row { rows }));
+        }
+    }
+
+    /// Round 0 receive: store (validated) rows per dealer.
+    pub fn recv_share(&mut self, inbox: &[(NodeId, CoinMsg)]) {
+        for (from, msg) in inbox {
+            let CoinMsg::Row { rows } = msg else { continue };
+            if rows.len() != self.targets {
+                continue;
+            }
+            let f = self.cfg.f;
+            let parsed: Option<Vec<Poly>> = rows
+                .iter()
+                .map(|coeffs| {
+                    (coeffs.len() <= f + 1).then(|| {
+                        Poly::from_coeffs(
+                            coeffs.iter().map(|&c| self.fp.reduce(c)).collect(),
+                        )
+                    })
+                })
+                .collect();
+            if let Some(polys) = parsed {
+                self.rows[from.index()] = Some(polys);
+            }
+        }
+    }
+
+    /// Round 1 send: cross-points to every node.
+    pub fn send_echo(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
+        for to in self.cfg.all_ids() {
+            let points: Vec<Option<Vec<u64>>> = self
+                .rows
+                .iter()
+                .map(|rows| {
+                    rows.as_ref().map(|polys| {
+                        polys.iter().map(|p| p.eval(&self.fp, to.share_point())).collect()
+                    })
+                })
+                .collect();
+            out.push((Target::One(to), CoinMsg::Echo { points }));
+        }
+    }
+
+    /// Round 1 receive: record which senders' cross-points match my rows.
+    pub fn recv_echo(&mut self, inbox: &[(NodeId, CoinMsg)]) {
+        let n = self.cfg.n;
+        for (from, msg) in inbox {
+            let CoinMsg::Echo { points } = msg else { continue };
+            let Some(points) = check_matrix(points, n, self.targets) else { continue };
+            for dealer in 0..n {
+                let (Some(my_rows), Some(their_points)) =
+                    (&self.rows[dealer], &points[dealer])
+                else {
+                    continue;
+                };
+                let all_match = my_rows.iter().zip(their_points.iter()).all(|(mine, &p)| {
+                    mine.eval(&self.fp, from.share_point()) == self.fp.reduce(p)
+                });
+                self.matches[dealer][from.index()] = all_match;
+            }
+        }
+    }
+
+    /// Round 2 send: broadcast contentment per dealer.
+    pub fn send_vote(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
+        let quorum = self.cfg.quorum();
+        let content: Vec<bool> = (0..self.cfg.n)
+            .map(|dealer| {
+                self.rows[dealer].is_some()
+                    && self.matches[dealer].iter().filter(|&&m| m).count() >= quorum
+            })
+            .collect();
+        out.push((Target::All, CoinMsg::Vote { content }));
+    }
+
+    /// Round 2 receive: tally votes, fix grades.
+    pub fn recv_vote(&mut self, inbox: &[(NodeId, CoinMsg)]) {
+        let n = self.cfg.n;
+        for (from, msg) in inbox {
+            let CoinMsg::Vote { content } = msg else { continue };
+            if content.len() != n {
+                continue;
+            }
+            for dealer in 0..n {
+                self.votes[dealer][from.index()] = content[dealer];
+            }
+        }
+        let f = self.cfg.f;
+        for dealer in 0..n {
+            let count = self.votes[dealer].iter().filter(|&&v| v).count();
+            self.grades[dealer] = if count >= n - f {
+                Grade::Two
+            } else if count >= n.saturating_sub(2 * f) {
+                Grade::One
+            } else {
+                Grade::Zero
+            };
+        }
+    }
+
+    /// Round 3 send: broadcast my secret shares `S(0, me)` for every dealer
+    /// I hold rows from (regardless of grade — inclusion is the receiver's
+    /// local decision, and extra shares only help decoding).
+    pub fn send_recover(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
+        let shares: Vec<Option<Vec<u64>>> = self
+            .rows
+            .iter()
+            .map(|rows| {
+                rows.as_ref()
+                    .map(|polys| polys.iter().map(|p| p.eval(&self.fp, 0)).collect())
+            })
+            .collect();
+        out.push((Target::All, CoinMsg::Recover { shares }));
+    }
+
+    /// Round 3 receive: Berlekamp–Welch per (included dealer, target).
+    pub fn recv_recover(&mut self, inbox: &[(NodeId, CoinMsg)]) {
+        let n = self.cfg.n;
+        let f = self.cfg.f;
+        // points[dealer][target] -> (x, y) pairs
+        let mut points: Vec<Vec<Vec<(u64, u64)>>> =
+            vec![vec![Vec::new(); self.targets]; n];
+        for (from, msg) in inbox {
+            let CoinMsg::Recover { shares } = msg else { continue };
+            let Some(shares) = check_matrix(shares, n, self.targets) else { continue };
+            for dealer in 0..n {
+                if let Some(vals) = &shares[dealer] {
+                    for (t, &v) in vals.iter().enumerate() {
+                        points[dealer][t].push((from.share_point(), self.fp.reduce(v)));
+                    }
+                }
+            }
+        }
+        for dealer in 0..n {
+            if self.grades[dealer] < Grade::One {
+                continue;
+            }
+            for t in 0..self.targets {
+                self.recovered[dealer][t] =
+                    rs::decode(&self.fp, &points[dealer][t], f).map(|g| g.eval(&self.fp, 0));
+            }
+        }
+    }
+
+    /// Transient fault: scramble everything (rows, matches, votes, grades,
+    /// dealings) with type-valid garbage.
+    pub fn corrupt(&mut self, rng: &mut SimRng) {
+        let n = self.cfg.n;
+        let f = self.cfg.f;
+        self.my_secrets = (0..self.targets).map(|_| self.fp.sample(rng)).collect();
+        self.dealt = self
+            .my_secrets
+            .iter()
+            .map(|&s| SymmetricBivariate::random_with_secret(&self.fp, s, f, rng))
+            .collect();
+        for dealer in 0..n {
+            self.rows[dealer] = if rng.random() {
+                Some(
+                    (0..self.targets)
+                        .map(|_| {
+                            Poly::from_coeffs(
+                                (0..=f).map(|_| self.fp.sample(rng)).collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            for s in 0..n {
+                self.matches[dealer][s] = rng.random();
+                self.votes[dealer][s] = rng.random();
+            }
+            self.grades[dealer] = match rng.random_range(0..3u8) {
+                0 => Grade::Zero,
+                1 => Grade::One,
+                _ => Grade::Two,
+            };
+            for t in 0..self.targets {
+                self.recovered[dealer][t] =
+                    rng.random::<bool>().then(|| self.fp.sample(rng));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Drives a full 4-round honest execution of one instance across all
+    /// `n` nodes in-process (no simulator) and returns the cores.
+    fn run_honest(n: usize, f: usize, targets: usize, seed: u64) -> Vec<GvssCore> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut cores: Vec<GvssCore> = (0..n as u16)
+            .map(|i| GvssCore::new(NodeCfg::new(NodeId::new(i), n, f), targets))
+            .collect();
+        let route = |sends: Vec<(NodeId, Vec<(Target, CoinMsg)>)>, n: usize| {
+            let mut inboxes: Vec<Vec<(NodeId, CoinMsg)>> = vec![Vec::new(); n];
+            for (from, outs) in sends {
+                for (target, msg) in outs {
+                    match target {
+                        Target::All => {
+                            for to in 0..n {
+                                inboxes[to].push((from, msg.clone()));
+                            }
+                        }
+                        Target::One(to) => inboxes[to.index()].push((from, msg)),
+                    }
+                }
+            }
+            inboxes
+        };
+        // round 0
+        let sends: Vec<_> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut out = Vec::new();
+                let modn = n as u64;
+                c.send_share(&mut rng, |r| r.random_range(0..modn), &mut out);
+                (NodeId::new(i as u16), out)
+            })
+            .collect();
+        for (c, inbox) in cores.iter_mut().zip(route(sends, n)) {
+            c.recv_share(&inbox);
+        }
+        // round 1
+        let sends: Vec<_> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut out = Vec::new();
+                c.send_echo(&mut out);
+                (NodeId::new(i as u16), out)
+            })
+            .collect();
+        for (c, inbox) in cores.iter_mut().zip(route(sends, n)) {
+            c.recv_echo(&inbox);
+        }
+        // round 2
+        let sends: Vec<_> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut out = Vec::new();
+                c.send_vote(&mut out);
+                (NodeId::new(i as u16), out)
+            })
+            .collect();
+        for (c, inbox) in cores.iter_mut().zip(route(sends, n)) {
+            c.recv_vote(&inbox);
+        }
+        // round 3
+        let sends: Vec<_> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut out = Vec::new();
+                c.send_recover(&mut out);
+                (NodeId::new(i as u16), out)
+            })
+            .collect();
+        for (c, inbox) in cores.iter_mut().zip(route(sends, n)) {
+            c.recv_recover(&inbox);
+        }
+        cores
+    }
+
+    #[test]
+    fn honest_run_grades_everyone_two() {
+        let cores = run_honest(4, 1, 2, 5);
+        for core in &cores {
+            for dealer in 0..4u16 {
+                assert_eq!(core.grade(NodeId::new(dealer)), Grade::Two);
+            }
+            assert_eq!(core.included().count(), 4);
+        }
+    }
+
+    #[test]
+    fn honest_run_recovers_all_secrets_consistently() {
+        let cores = run_honest(7, 2, 3, 9);
+        for dealer in 0..7usize {
+            let dealt = cores[dealer].my_secrets().to_vec();
+            assert_eq!(dealt.len(), 3);
+            for core in &cores {
+                for (t, &secret) in dealt.iter().enumerate() {
+                    assert_eq!(
+                        core.recovered(NodeId::new(dealer as u16), t),
+                        Some(secret),
+                        "dealer {dealer} target {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_dealer_gets_grade_zero() {
+        // Run honestly but erase dealer 3's rows before the echo round by
+        // simply never delivering them: emulate via fresh cores where
+        // dealer 3 never dealt.
+        let n = 4;
+        let f = 1;
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut cores: Vec<GvssCore> = (0..n as u16)
+            .map(|i| GvssCore::new(NodeCfg::new(NodeId::new(i), n, f), 1))
+            .collect();
+        // Everyone deals except node 3.
+        let mut all_sends: Vec<(NodeId, Vec<(Target, CoinMsg)>)> = Vec::new();
+        for (i, c) in cores.iter_mut().enumerate() {
+            if i == 3 {
+                continue;
+            }
+            let mut out = Vec::new();
+            c.send_share(&mut rng, |r| r.random_range(0..4), &mut out);
+            all_sends.push((NodeId::new(i as u16), out));
+        }
+        let mut inboxes: Vec<Vec<(NodeId, CoinMsg)>> = vec![Vec::new(); n];
+        for (from, outs) in all_sends {
+            for (target, msg) in outs {
+                if let Target::One(to) = target {
+                    inboxes[to.index()].push((from, msg));
+                }
+            }
+        }
+        for (c, inbox) in cores.iter_mut().zip(inboxes) {
+            c.recv_share(&inbox);
+        }
+        // echo + vote rounds, all nodes (including 3, who is honest but
+        // didn't deal).
+        for round in 1..=2 {
+            let sends: Vec<_> = cores
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| {
+                    let mut out = Vec::new();
+                    if round == 1 {
+                        c.send_echo(&mut out);
+                    } else {
+                        c.send_vote(&mut out);
+                    }
+                    (NodeId::new(i as u16), out)
+                })
+                .collect();
+            let mut inboxes: Vec<Vec<(NodeId, CoinMsg)>> = vec![Vec::new(); n];
+            for (from, outs) in sends {
+                for (target, msg) in outs {
+                    match target {
+                        Target::All => {
+                            for to in 0..n {
+                                inboxes[to].push((from, msg.clone()));
+                            }
+                        }
+                        Target::One(to) => inboxes[to.index()].push((from, msg)),
+                    }
+                }
+            }
+            for (c, inbox) in cores.iter_mut().zip(inboxes) {
+                if round == 1 {
+                    c.recv_echo(&inbox);
+                } else {
+                    c.recv_vote(&inbox);
+                }
+            }
+        }
+        for core in &cores {
+            assert_eq!(core.grade(NodeId::new(3)), Grade::Zero);
+            assert_eq!(core.grade(NodeId::new(0)), Grade::Two);
+            assert_eq!(core.included().count(), 3);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_ignored() {
+        let cfg = NodeCfg::new(NodeId::new(0), 4, 1);
+        let mut core = GvssCore::new(cfg, 2);
+        let from = NodeId::new(1);
+        // Wrong target count in a Row.
+        core.recv_share(&[(from, CoinMsg::Row { rows: vec![vec![1]] })]);
+        assert!(core.rows[1].is_none());
+        // Row polynomial of excessive degree.
+        core.recv_share(&[(
+            from,
+            CoinMsg::Row { rows: vec![vec![1, 2, 3, 4, 5], vec![1]] },
+        )]);
+        assert!(core.rows[1].is_none());
+        // Vote with wrong arity.
+        core.recv_vote(&[(from, CoinMsg::Vote { content: vec![true] })]);
+        assert!(core.votes.iter().all(|per| !per[1]));
+        // Echo with wrong dealer arity.
+        core.recv_echo(&[(from, CoinMsg::Echo { points: vec![None] })]);
+        assert!(core.matches.iter().all(|per| !per[1]));
+    }
+
+    /// Hiding: f rows of a degree-f symmetric bivariate reveal nothing
+    /// about the secret — every candidate secret is equally consistent.
+    #[test]
+    fn f_rows_are_perfectly_hiding() {
+        let fp = Fp::for_cluster(4);
+        let mut rng = SimRng::seed_from_u64(8);
+        let f = 1;
+        // Dealer's secret 3, node 1's row (the single corrupted node's view).
+        let biv = SymmetricBivariate::random_with_secret(&fp, 3, f, &mut rng);
+        let row1 = biv.row(&fp, NodeId::new(1).share_point());
+        // For every candidate secret s, there exists a symmetric bivariate
+        // with that secret agreeing with row1: count consistent dealings by
+        // brute force over a small field would be excessive; instead verify
+        // the interpolation degree-of-freedom argument: the secret poly
+        // g(y) = S(0, y) has degree f = 1 and must satisfy
+        // g(1) = row1(0); g(0) is otherwise free.
+        let pinned = row1.eval(&fp, 0);
+        for candidate in 0..fp.modulus() {
+            let g = Poly::interpolate(
+                &fp,
+                &[(0, candidate), (NodeId::new(1).share_point(), pinned)],
+            )
+            .unwrap();
+            assert_eq!(g.eval(&fp, 0), candidate);
+            assert_eq!(g.eval(&fp, NodeId::new(1).share_point()), pinned);
+        }
+    }
+
+    #[test]
+    fn corruption_is_type_valid() {
+        let cfg = NodeCfg::new(NodeId::new(0), 4, 1);
+        let mut core = GvssCore::new(cfg, 2);
+        let mut rng = SimRng::seed_from_u64(3);
+        core.corrupt(&mut rng);
+        // Everything still within type bounds; subsequent rounds must not
+        // panic on the scrambled state.
+        let mut out = Vec::new();
+        core.send_echo(&mut out);
+        core.send_vote(&mut out);
+        core.send_recover(&mut out);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Wire messages of the GVSS common coin, with defensive parsing.
+//!
+//! Byzantine nodes construct these messages freely, so every consumer
+//! validates shape (vector lengths, coefficient counts) and reduces field
+//! values before use; anything malformed is treated as missing.
+
+use bytes::BytesMut;
+use byzclock_sim::Wire;
+
+/// One round's payload of a coin instance.
+///
+/// Indexing conventions: `[dealer]` vectors always have length `n`
+/// (`Option` for dealers the sender has nothing for); `[target]` vectors
+/// have length `targets` (the per-dealer secret count — `n` for the ticket
+/// coin, 1 for the XOR coin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoinMsg {
+    /// Round 0, dealer → node `i`: the row polynomials `S_j(x, i)`, one
+    /// per target `j` (coefficient vectors, constant term first).
+    Row {
+        /// `[target] -> row-polynomial coefficients`.
+        rows: Vec<Vec<u64>>,
+    },
+    /// Round 1, node `i` → node `m`: cross-points `S_j(m, i)` for every
+    /// dealer (`None` where `i` holds no row from that dealer).
+    Echo {
+        /// `[dealer] -> [target] -> point value`.
+        points: Vec<Option<Vec<u64>>>,
+    },
+    /// Round 2, broadcast: per-dealer contentment (enough matching echoes).
+    Vote {
+        /// `[dealer] -> content`.
+        content: Vec<bool>,
+    },
+    /// Round 3 (recover), broadcast: the sender's secret shares
+    /// `S_j(0, sender)` for every dealer it holds rows from.
+    Recover {
+        /// `[dealer] -> [target] -> share value`.
+        shares: Vec<Option<Vec<u64>>>,
+    },
+}
+
+impl Wire for CoinMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            CoinMsg::Row { rows } => {
+                0u8.encode(buf);
+                rows.encode(buf);
+            }
+            CoinMsg::Echo { points } => {
+                1u8.encode(buf);
+                points.encode(buf);
+            }
+            CoinMsg::Vote { content } => {
+                2u8.encode(buf);
+                content.encode(buf);
+            }
+            CoinMsg::Recover { shares } => {
+                3u8.encode(buf);
+                shares.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            CoinMsg::Row { rows } => rows.encoded_len(),
+            CoinMsg::Echo { points } => points.encoded_len(),
+            CoinMsg::Vote { content } => content.encoded_len(),
+            CoinMsg::Recover { shares } => shares.encoded_len(),
+        }
+    }
+}
+
+/// Validates a per-dealer optioned matrix: outer length must be `dealers`,
+/// every inner vector must have length `targets`. Returns `None` on any
+/// shape violation (the message is then ignored).
+pub(crate) fn check_matrix(
+    m: &[Option<Vec<u64>>],
+    dealers: usize,
+    targets: usize,
+) -> Option<&[Option<Vec<u64>>]> {
+    if m.len() != dealers {
+        return None;
+    }
+    for inner in m.iter().flatten() {
+        if inner.len() != targets {
+            return None;
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_lengths() {
+        let m = CoinMsg::Vote { content: vec![true, false, true] };
+        // tag + vec header + 3 bools
+        assert_eq!(m.encoded_len(), 1 + 4 + 3);
+        let m = CoinMsg::Row { rows: vec![vec![1, 2], vec![3]] };
+        assert_eq!(m.encoded_len(), 1 + 4 + (4 + 16) + (4 + 8));
+        let m = CoinMsg::Echo { points: vec![None, Some(vec![7])] };
+        assert_eq!(m.encoded_len(), 1 + 4 + 1 + (1 + 4 + 8));
+    }
+
+    #[test]
+    fn matrix_shape_validation() {
+        let good = vec![Some(vec![1, 2]), None, Some(vec![3, 4])];
+        assert!(check_matrix(&good, 3, 2).is_some());
+        assert!(check_matrix(&good, 4, 2).is_none(), "wrong dealer count");
+        assert!(check_matrix(&good, 3, 3).is_none(), "wrong target count");
+        let ragged = vec![Some(vec![1]), Some(vec![2, 3])];
+        assert!(check_matrix(&ragged, 2, 1).is_none());
+    }
+}

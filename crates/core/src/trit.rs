@@ -1,0 +1,269 @@
+//! The three-valued clock domain `{0, 1, ⊥}` and the quorum-majority rule.
+
+use bytes::BytesMut;
+use byzclock_sim::{NodeId, SimRng, Wire};
+use rand::Rng;
+
+/// A 2-clock value: `0`, `1`, or the undecided marker `⊥` ("Bot").
+///
+/// This is the `u.clock ∈ {0,1,?}` domain of `ss-Byz-2-Clock` (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trit {
+    /// Clock value 0.
+    Zero,
+    /// Clock value 1.
+    One,
+    /// Undecided (`?` in the paper).
+    Bot,
+}
+
+impl Trit {
+    /// Converts a boolean bit into a definite clock value.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The definite value as a bit, or `None` for `⊥`.
+    pub fn bit(&self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::Bot => None,
+        }
+    }
+
+    /// The paper's `1 - maj` flip for definite values; `⊥` stays `⊥`.
+    pub fn flipped(&self) -> Self {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::Bot => Trit::Bot,
+        }
+    }
+
+    /// A uniformly random element of `{0, 1, ⊥}` (for transient-fault
+    /// state scrambling).
+    pub fn arbitrary(rng: &mut SimRng) -> Self {
+        match rng.random_range(0..3u8) {
+            0 => Trit::Zero,
+            1 => Trit::One,
+            _ => Trit::Bot,
+        }
+    }
+}
+
+impl Wire for Trit {
+    fn encode(&self, buf: &mut BytesMut) {
+        let byte: u8 = match self {
+            Trit::Zero => 0,
+            Trit::One => 1,
+            Trit::Bot => 2,
+        };
+        byte.encode(buf);
+    }
+
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+/// Result of the majority count of Fig. 2 lines 3–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MajorityCount {
+    /// The value that appeared the most (`maj`); ties break to 0, which is
+    /// harmless because ties cannot reach the `n - f` threshold that lines
+    /// 5–6 require (Observation 3.1).
+    pub maj: bool,
+    /// How many times `maj` appeared (`#maj`).
+    pub count: usize,
+}
+
+/// Computes `maj`/`#maj` over one vote per sender, substituting `rand` for
+/// every `⊥` vote (Fig. 2 line 3).
+///
+/// `votes` must already be deduplicated to one vote per sender — the
+/// protocol layer keeps the first message per sender, so a Byzantine node
+/// cannot vote twice.
+pub fn majority_with_rand(votes: &[(NodeId, Trit)], rand: bool) -> MajorityCount {
+    let mut zeros = 0usize;
+    let mut ones = 0usize;
+    for &(_, vote) in votes {
+        match vote.bit().unwrap_or(rand) {
+            false => zeros += 1,
+            true => ones += 1,
+        }
+    }
+    if ones > zeros {
+        MajorityCount { maj: true, count: ones }
+    } else {
+        MajorityCount { maj: false, count: zeros }
+    }
+}
+
+/// Computes `maj`/`#maj` counting only definite votes (`⊥` contributes to
+/// neither side) — used by the broken Remark 3.1 variant where senders
+/// substitute before broadcasting.
+pub fn majority_literal(votes: &[(NodeId, Trit)]) -> MajorityCount {
+    let mut zeros = 0usize;
+    let mut ones = 0usize;
+    for &(_, vote) in votes {
+        match vote {
+            Trit::Zero => zeros += 1,
+            Trit::One => ones += 1,
+            Trit::Bot => {}
+        }
+    }
+    if ones > zeros {
+        MajorityCount { maj: true, count: ones }
+    } else {
+        MajorityCount { maj: false, count: zeros }
+    }
+}
+
+/// Keeps the first message per sender: one vote per node, Byzantine
+/// duplicates ignored. `inbox` must be sorted by sender (the simulator
+/// guarantees it), so `is_sorted` duplicates are adjacent.
+pub fn dedup_by_sender<T: Copy>(pairs: impl IntoIterator<Item = (NodeId, T)>) -> Vec<(NodeId, T)> {
+    let mut out: Vec<(NodeId, T)> = Vec::new();
+    for (from, value) in pairs {
+        if out.last().map(|&(prev, _)| prev) != Some(from) {
+            out.push((from, value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn id(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn flip_and_bit_round_trip() {
+        assert_eq!(Trit::Zero.flipped(), Trit::One);
+        assert_eq!(Trit::One.flipped(), Trit::Zero);
+        assert_eq!(Trit::Bot.flipped(), Trit::Bot);
+        assert_eq!(Trit::from_bit(true).bit(), Some(true));
+        assert_eq!(Trit::from_bit(false).bit(), Some(false));
+        assert_eq!(Trit::Bot.bit(), None);
+    }
+
+    #[test]
+    fn majority_substitutes_rand_for_bot() {
+        let votes = vec![(id(0), Trit::Zero), (id(1), Trit::Bot), (id(2), Trit::Bot)];
+        let m = majority_with_rand(&votes, false);
+        assert_eq!(m, MajorityCount { maj: false, count: 3 });
+        let m = majority_with_rand(&votes, true);
+        assert_eq!(m, MajorityCount { maj: true, count: 2 });
+    }
+
+    #[test]
+    fn majority_tie_breaks_to_zero() {
+        let votes = vec![(id(0), Trit::Zero), (id(1), Trit::One)];
+        let m = majority_with_rand(&votes, false);
+        assert_eq!(m.maj, false);
+        assert_eq!(m.count, 1);
+    }
+
+    #[test]
+    fn literal_majority_ignores_bot() {
+        let votes = vec![(id(0), Trit::Bot), (id(1), Trit::Bot), (id(2), Trit::One)];
+        let m = majority_literal(&votes);
+        assert_eq!(m, MajorityCount { maj: true, count: 1 });
+    }
+
+    #[test]
+    fn dedup_keeps_first_per_sender() {
+        let votes = vec![
+            (id(0), Trit::Zero),
+            (id(1), Trit::One),
+            (id(1), Trit::Zero), // duplicate: ignored
+            (id(2), Trit::Bot),
+        ];
+        let deduped = dedup_by_sender(votes);
+        assert_eq!(deduped.len(), 3);
+        assert_eq!(deduped[1], (id(1), Trit::One));
+    }
+
+    /// Observation 3.1, executable: two vote vectors that differ in at most
+    /// `f` entries (n > 3f) cannot certify different values at the `n - f`
+    /// threshold.
+    #[test]
+    fn observation_3_1_quorum_uniqueness_exhaustive_small() {
+        let n = 4usize;
+        let f = 1usize;
+        // All assignments of {0,1} votes to n nodes, adversary flips <= f
+        // entries between the two views.
+        for base in 0..(1u32 << n) {
+            for flip_idx in 0..n {
+                let votes_a: Vec<(NodeId, Trit)> = (0..n)
+                    .map(|i| (id(i as u16), Trit::from_bit(base >> i & 1 == 1)))
+                    .collect();
+                let mut votes_b = votes_a.clone();
+                votes_b[flip_idx].1 = votes_b[flip_idx].1.flipped();
+                let ma = majority_with_rand(&votes_a, false);
+                let mb = majority_with_rand(&votes_b, false);
+                if ma.count >= n - f && mb.count >= n - f {
+                    assert_eq!(ma.maj, mb.maj, "base={base:b} flip={flip_idx}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Observation 3.1 at property scale: random vote vectors over
+        /// random (n, f) with n > 3f; views differ in at most f entries.
+        #[test]
+        fn observation_3_1_quorum_uniqueness(
+            f in 1usize..5,
+            extra in 0usize..4,
+            seed_votes in proptest::collection::vec(0u8..3, 40),
+            flips in proptest::collection::vec((0usize..40, 0u8..3), 0..5),
+        ) {
+            let n = 3 * f + 1 + extra;
+            let votes_a: Vec<(NodeId, Trit)> = (0..n)
+                .map(|i| {
+                    let v = match seed_votes[i % seed_votes.len()] {
+                        0 => Trit::Zero,
+                        1 => Trit::One,
+                        _ => Trit::Bot,
+                    };
+                    (id(i as u16), v)
+                })
+                .collect();
+            let mut votes_b = votes_a.clone();
+            for &(pos, val) in flips.iter().take(f) {
+                let v = match val { 0 => Trit::Zero, 1 => Trit::One, _ => Trit::Bot };
+                votes_b[pos % n].1 = v;
+            }
+            // Both views substitute the same rand (safe beat).
+            for rand in [false, true] {
+                let ma = majority_with_rand(&votes_a, rand);
+                let mb = majority_with_rand(&votes_b, rand);
+                if ma.count >= n - f && mb.count >= n - f {
+                    prop_assert_eq!(ma.maj, mb.maj);
+                }
+            }
+        }
+
+        #[test]
+        fn majority_count_is_bounded(votes in proptest::collection::vec((0u16..40, 0u8..3), 0..40), rand in any::<bool>()) {
+            let votes: Vec<(NodeId, Trit)> = votes
+                .into_iter()
+                .map(|(i, v)| (id(i), match v { 0 => Trit::Zero, 1 => Trit::One, _ => Trit::Bot }))
+                .collect();
+            let m = majority_with_rand(&votes, rand);
+            prop_assert!(m.count <= votes.len());
+            // maj got at least half of the (substituted) votes.
+            prop_assert!(2 * m.count >= votes.len());
+        }
+    }
+}

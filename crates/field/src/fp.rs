@@ -1,0 +1,262 @@
+//! The prime field `F_p` with a runtime modulus.
+//!
+//! The modulus depends on the cluster size (`p` = smallest prime above `n`),
+//! so it is a runtime value rather than a type parameter. [`Fp`] is a small
+//! context object that interprets plain `u64` values (type-aliased as
+//! [`FpElem`]) as field elements; all arithmetic goes through it.
+
+use crate::{is_prime, FieldError};
+
+/// A field element. Always reduced, i.e. `< p` for the owning [`Fp`].
+pub type FpElem = u64;
+
+/// The prime field `F_p`.
+///
+/// `Fp` is a lightweight, copyable context: methods take and return raw
+/// [`FpElem`] values, which keeps shares and polynomial coefficients as
+/// compact `u64` vectors.
+///
+/// # Example
+///
+/// ```
+/// use byzclock_field::Fp;
+///
+/// # fn main() -> Result<(), byzclock_field::FieldError> {
+/// let fp = Fp::new(11)?;
+/// let x = fp.add(7, 9);
+/// assert_eq!(x, 5);
+/// assert_eq!(fp.mul(x, fp.inv(x)?), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp {
+    p: u64,
+}
+
+impl Fp {
+    /// Creates the field `F_p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NotPrime`] if `p` is composite and
+    /// [`FieldError::ModulusTooLarge`] if `p` does not fit in 32 bits
+    /// (products are computed in `u128`, but 32-bit moduli keep every
+    /// intermediate comfortably in range and are far beyond any realistic
+    /// cluster size).
+    pub fn new(p: u64) -> Result<Self, FieldError> {
+        if p > u64::from(u32::MAX) {
+            return Err(FieldError::ModulusTooLarge(p));
+        }
+        if !is_prime(p) {
+            return Err(FieldError::NotPrime(p));
+        }
+        Ok(Fp { p })
+    }
+
+    /// The field used by a cluster of `n` nodes: the smallest prime above
+    /// `max(n, 2)` (Remark 2.3 of the paper).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let fp = byzclock_field::Fp::for_cluster(7);
+    /// assert_eq!(fp.modulus(), 11);
+    /// ```
+    pub fn for_cluster(n: usize) -> Self {
+        let p = crate::smallest_prime_above((n as u64).max(2));
+        Fp { p }
+    }
+
+    /// The modulus `p`.
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduces an arbitrary `u64` into the field.
+    pub fn reduce(&self, x: u64) -> FpElem {
+        x % self.p
+    }
+
+    /// Returns `true` if `x` is a canonical element (`x < p`).
+    pub fn contains(&self, x: u64) -> bool {
+        x < self.p
+    }
+
+    /// Addition in `F_p`.
+    pub fn add(&self, a: FpElem, b: FpElem) -> FpElem {
+        debug_assert!(self.contains(a) && self.contains(b));
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// Subtraction in `F_p`.
+    pub fn sub(&self, a: FpElem, b: FpElem) -> FpElem {
+        debug_assert!(self.contains(a) && self.contains(b));
+        if a >= b {
+            a - b
+        } else {
+            a + self.p - b
+        }
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self, a: FpElem) -> FpElem {
+        debug_assert!(self.contains(a));
+        if a == 0 {
+            0
+        } else {
+            self.p - a
+        }
+    }
+
+    /// Multiplication in `F_p`.
+    pub fn mul(&self, a: FpElem, b: FpElem) -> FpElem {
+        debug_assert!(self.contains(a) && self.contains(b));
+        ((u128::from(a) * u128::from(b)) % u128::from(self.p)) as u64
+    }
+
+    /// Exponentiation by squaring.
+    pub fn pow(&self, mut base: FpElem, mut exp: u64) -> FpElem {
+        debug_assert!(self.contains(base));
+        let mut acc: FpElem = 1 % self.p;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] when `a == 0`.
+    pub fn inv(&self, a: FpElem) -> Result<FpElem, FieldError> {
+        if a == 0 {
+            return Err(FieldError::ZeroInverse);
+        }
+        Ok(self.pow(a, self.p - 2))
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::ZeroInverse`] when `b == 0`.
+    pub fn div(&self, a: FpElem, b: FpElem) -> Result<FpElem, FieldError> {
+        Ok(self.mul(a, self.inv(b)?))
+    }
+
+    /// Samples a uniform field element.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> FpElem {
+        rng.random_range(0..self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TEST_PRIMES: [u64; 5] = [2, 5, 11, 101, 65537];
+
+    #[test]
+    fn rejects_composite_modulus() {
+        assert_eq!(Fp::new(12), Err(FieldError::NotPrime(12)));
+        assert_eq!(Fp::new(1), Err(FieldError::NotPrime(1)));
+    }
+
+    #[test]
+    fn rejects_oversized_modulus() {
+        let p = (1u64 << 33) + 9; // arbitrary > 32-bit value
+        assert!(matches!(Fp::new(p), Err(FieldError::ModulusTooLarge(_))));
+    }
+
+    #[test]
+    fn for_cluster_matches_remark_2_3() {
+        assert_eq!(Fp::for_cluster(7).modulus(), 11);
+        assert_eq!(Fp::for_cluster(4).modulus(), 5);
+        // Degenerate cluster sizes still produce a valid field.
+        assert_eq!(Fp::for_cluster(0).modulus(), 3);
+        assert_eq!(Fp::for_cluster(1).modulus(), 3);
+    }
+
+    #[test]
+    fn zero_has_no_inverse() {
+        let fp = Fp::new(11).unwrap();
+        assert_eq!(fp.inv(0), Err(FieldError::ZeroInverse));
+        assert_eq!(fp.div(3, 0), Err(FieldError::ZeroInverse));
+    }
+
+    #[test]
+    fn binary_field_edge_cases() {
+        let fp = Fp::new(2).unwrap();
+        assert_eq!(fp.add(1, 1), 0);
+        assert_eq!(fp.neg(1), 1);
+        assert_eq!(fp.inv(1).unwrap(), 1);
+        assert_eq!(fp.pow(1, 999), 1);
+        assert_eq!(fp.pow(0, 0), 1, "0^0 is the empty product");
+    }
+
+    fn prime_and_pair() -> impl Strategy<Value = (u64, u64, u64)> {
+        proptest::sample::select(TEST_PRIMES.to_vec())
+            .prop_flat_map(|p| (Just(p), 0..p, 0..p))
+    }
+
+    fn prime_and_triple() -> impl Strategy<Value = (u64, u64, u64, u64)> {
+        proptest::sample::select(TEST_PRIMES.to_vec())
+            .prop_flat_map(|p| (Just(p), 0..p, 0..p, 0..p))
+    }
+
+    proptest! {
+        #[test]
+        fn add_is_commutative_and_reduced((p, a, b) in prime_and_pair()) {
+            let fp = Fp::new(p).unwrap();
+            prop_assert_eq!(fp.add(a, b), fp.add(b, a));
+            prop_assert!(fp.contains(fp.add(a, b)));
+        }
+
+        #[test]
+        fn mul_distributes_over_add((p, a, b, c) in prime_and_triple()) {
+            let fp = Fp::new(p).unwrap();
+            prop_assert_eq!(fp.mul(a, fp.add(b, c)), fp.add(fp.mul(a, b), fp.mul(a, c)));
+        }
+
+        #[test]
+        fn sub_inverts_add((p, a, b) in prime_and_pair()) {
+            let fp = Fp::new(p).unwrap();
+            prop_assert_eq!(fp.sub(fp.add(a, b), b), a);
+            prop_assert_eq!(fp.add(a, fp.neg(a)), 0);
+        }
+
+        #[test]
+        fn inverse_is_inverse((p, a, _b) in prime_and_pair()) {
+            let fp = Fp::new(p).unwrap();
+            if a != 0 {
+                prop_assert_eq!(fp.mul(a, fp.inv(a).unwrap()), 1 % p);
+            }
+        }
+
+        #[test]
+        fn fermat_little_theorem((p, a, _b) in prime_and_pair()) {
+            let fp = Fp::new(p).unwrap();
+            if a != 0 {
+                prop_assert_eq!(fp.pow(a, p - 1), 1 % p);
+            }
+        }
+
+        #[test]
+        fn pow_adds_exponents((p, a, _b) in prime_and_pair(), e1 in 0u64..64, e2 in 0u64..64) {
+            let fp = Fp::new(p).unwrap();
+            prop_assert_eq!(fp.mul(fp.pow(a, e1), fp.pow(a, e2)), fp.pow(a, e1 + e2));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Gaussian elimination over `F_p`.
+//!
+//! Used by the Berlekamp–Welch decoder to solve the key equation. Systems
+//! here are tiny (a handful of unknowns per dealing), so a dense
+//! row-reduction is the clear choice.
+
+use crate::{FieldError, Fp, FpElem};
+
+/// Solves the linear system `A x = b` over `F_p`.
+///
+/// Returns one particular solution with all free variables set to zero, or
+/// `None` if the system is inconsistent. `a` is row-major with `a.len()`
+/// rows; every row must have `unknowns` entries and `b.len()` must equal
+/// `a.len()`.
+///
+/// # Panics
+///
+/// Panics if the dimensions are inconsistent (programmer error, not data).
+///
+/// # Example
+///
+/// ```
+/// use byzclock_field::{Fp, linalg};
+///
+/// # fn main() -> Result<(), byzclock_field::FieldError> {
+/// let fp = Fp::new(11)?;
+/// // x + y = 3, x - y = 1  =>  x = 2, y = 1
+/// let a = vec![vec![1, 1], vec![1, 10]];
+/// let sol = linalg::solve(&fp, a, vec![3, 1], 2).expect("consistent");
+/// assert_eq!(sol, vec![2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve(
+    fp: &Fp,
+    mut a: Vec<Vec<FpElem>>,
+    mut b: Vec<FpElem>,
+    unknowns: usize,
+) -> Option<Vec<FpElem>> {
+    assert_eq!(a.len(), b.len(), "matrix/rhs row mismatch");
+    for row in &a {
+        assert_eq!(row.len(), unknowns, "row width mismatch");
+    }
+    let rows = a.len();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; unknowns];
+    let mut rank = 0usize;
+
+    for col in 0..unknowns {
+        // Find a pivot row at or below `rank`.
+        let Some(pr) = (rank..rows).find(|&r| a[r][col] != 0) else {
+            continue;
+        };
+        a.swap(rank, pr);
+        b.swap(rank, pr);
+        let inv = fp
+            .inv(a[rank][col])
+            .expect("pivot is nonzero by construction");
+        for v in a[rank].iter_mut() {
+            *v = fp.mul(*v, inv);
+        }
+        b[rank] = fp.mul(b[rank], inv);
+        for r in 0..rows {
+            if r != rank && a[r][col] != 0 {
+                let factor = a[r][col];
+                for c in 0..unknowns {
+                    let delta = fp.mul(factor, a[rank][c]);
+                    a[r][c] = fp.sub(a[r][c], delta);
+                }
+                let delta = fp.mul(factor, b[rank]);
+                b[r] = fp.sub(b[r], delta);
+            }
+        }
+        pivot_of_col[col] = Some(rank);
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+
+    // Inconsistency check: a zero row with nonzero rhs.
+    for r in rank..rows {
+        if b[r] != 0 && a[r].iter().all(|&v| v == 0) {
+            return None;
+        }
+    }
+
+    let mut x = vec![0; unknowns];
+    for (col, pivot) in pivot_of_col.iter().enumerate() {
+        if let Some(pr) = pivot {
+            x[col] = b[*pr];
+        }
+    }
+    Some(x)
+}
+
+/// Like [`solve`] but maps inconsistency to [`FieldError::Inconsistent`].
+///
+/// # Errors
+///
+/// Returns [`FieldError::Inconsistent`] when the system has no solution.
+pub fn solve_or_err(
+    fp: &Fp,
+    a: Vec<Vec<FpElem>>,
+    b: Vec<FpElem>,
+    unknowns: usize,
+) -> Result<Vec<FpElem>, FieldError> {
+    solve(fp, a, b, unknowns).ok_or(FieldError::Inconsistent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solves_square_system() {
+        let fp = Fp::new(101).unwrap();
+        let a = vec![vec![2, 1, 1], vec![1, 3, 2], vec![1, 0, 0]];
+        let x = vec![5, 7, 9];
+        let b: Vec<u64> = a
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&x)
+                    .fold(0, |acc, (&c, &xi)| fp.add(acc, fp.mul(c, xi)))
+            })
+            .collect();
+        let sol = solve(&fp, a.clone(), b, 3).unwrap();
+        assert_eq!(sol, x);
+    }
+
+    #[test]
+    fn detects_inconsistency() {
+        let fp = Fp::new(11).unwrap();
+        // x + y = 1 and x + y = 2 cannot both hold.
+        let a = vec![vec![1, 1], vec![1, 1]];
+        assert_eq!(solve(&fp, a.clone(), vec![1, 2], 2), None);
+        assert_eq!(
+            solve_or_err(&fp, a, vec![1, 2], 2),
+            Err(FieldError::Inconsistent)
+        );
+    }
+
+    #[test]
+    fn underdetermined_returns_particular_solution() {
+        let fp = Fp::new(11).unwrap();
+        // Single equation x + 2y = 5: free variable y is set to 0.
+        let sol = solve(&fp, vec![vec![1, 2]], vec![5], 2).unwrap();
+        assert_eq!(sol, vec![5, 0]);
+    }
+
+    #[test]
+    fn zero_rows_are_tolerated() {
+        let fp = Fp::new(11).unwrap();
+        let a = vec![vec![0, 0], vec![1, 0]];
+        let sol = solve(&fp, a, vec![0, 4], 2).unwrap();
+        assert_eq!(sol, vec![4, 0]);
+    }
+
+    #[test]
+    fn empty_system_is_trivially_consistent() {
+        let fp = Fp::new(11).unwrap();
+        let sol = solve(&fp, vec![], vec![], 3).unwrap();
+        assert_eq!(sol, vec![0, 0, 0]);
+    }
+
+    proptest! {
+        /// Random consistent systems are solved: we generate x and A, then
+        /// compute b = A x, so a solution must exist (not necessarily x).
+        #[test]
+        fn random_consistent_systems(seed in 0u64..500, rows in 1usize..7, cols in 1usize..7) {
+            let fp = Fp::new(101).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a: Vec<Vec<u64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.random_range(0..101)).collect())
+                .collect();
+            let x: Vec<u64> = (0..cols).map(|_| rng.random_range(0..101)).collect();
+            let b: Vec<u64> = a
+                .iter()
+                .map(|row| row.iter().zip(&x).fold(0, |acc, (&c, &xi)| fp.add(acc, fp.mul(c, xi))))
+                .collect();
+            let sol = solve(&fp, a.clone(), b.clone(), cols).expect("constructed consistent");
+            // Verify the returned vector actually satisfies the system.
+            for (row, &rhs) in a.iter().zip(&b) {
+                let lhs = row.iter().zip(&sol).fold(0, |acc, (&c, &xi)| fp.add(acc, fp.mul(c, xi)));
+                prop_assert_eq!(lhs, rhs);
+            }
+        }
+    }
+}

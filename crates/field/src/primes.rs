@@ -1,0 +1,100 @@
+//! Small-prime utilities.
+//!
+//! The coin layer only ever needs the smallest prime above `n` (the number
+//! of nodes), so trial division is more than fast enough and keeps the code
+//! auditable.
+
+/// Returns `true` if `x` is prime.
+///
+/// Deterministic trial division; intended for the small moduli used by the
+/// coin layer (`p` is the smallest prime above the node count).
+///
+/// # Example
+///
+/// ```
+/// assert!(byzclock_field::is_prime(11));
+/// assert!(!byzclock_field::is_prime(12));
+/// ```
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    if x % 3 == 0 {
+        return x == 3;
+    }
+    let mut d = 5u64;
+    while d.saturating_mul(d) <= x {
+        if x % d == 0 || x % (d + 2) == 0 {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// Returns the smallest prime strictly greater than `n`.
+///
+/// This is the paper's Remark 2.3 recipe for deriving the secret-sharing
+/// modulus from the node count in a way every non-faulty node computes
+/// identically ("these constants can be computed in a single way given the
+/// value of n").
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(byzclock_field::smallest_prime_above(7), 11);
+/// assert_eq!(byzclock_field::smallest_prime_above(10), 11);
+/// assert_eq!(byzclock_field::smallest_prime_above(1), 2);
+/// ```
+pub fn smallest_prime_above(n: u64) -> u64 {
+    let mut candidate = n + 1;
+    while !is_prime(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_are_detected() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 101, 65537];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn small_composites_are_rejected() {
+        let composites = [0u64, 1, 4, 6, 8, 9, 15, 21, 25, 49, 91, 100, 65535];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_above_typical_cluster_sizes() {
+        assert_eq!(smallest_prime_above(4), 5);
+        assert_eq!(smallest_prime_above(7), 11);
+        assert_eq!(smallest_prime_above(13), 17);
+        assert_eq!(smallest_prime_above(16), 17);
+        assert_eq!(smallest_prime_above(31), 37);
+    }
+
+    #[test]
+    fn next_prime_is_strictly_above() {
+        for n in 0..200u64 {
+            let p = smallest_prime_above(n);
+            assert!(p > n);
+            assert!(is_prime(p));
+            for q in (n + 1)..p {
+                assert!(!is_prime(q), "{q} contradicts minimality for n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Reed–Solomon decoding via the Berlekamp–Welch algorithm.
+//!
+//! The coin's recover round broadcasts Shamir shares; up to `f` of them come
+//! from Byzantine nodes and may be arbitrary. With shares of a degree-`f`
+//! polynomial held by `n ≥ 3f + 1` nodes, at least `n − f ≥ 2f + 1` shares
+//! are correct, which meets the Berlekamp–Welch requirement
+//! `points ≥ degree + 2·errors + 1`. Decoding is therefore *binding*: every
+//! correct node reconstructs the same polynomial no matter which `≤ f`
+//! shares the adversary falsifies — even with recover-round rushing.
+
+use crate::{linalg, Fp, FpElem, Poly};
+
+/// Decodes a polynomial of degree at most `degree` from `points`, tolerating
+/// up to `max_errors` corrupted y-values.
+///
+/// Returns `None` when decoding fails (more errors than the budget, or not
+/// enough points: `points.len()` must be at least
+/// `degree + 2 * max_errors + 1`).
+///
+/// x-coordinates must be distinct; duplicate x-coordinates make the decode
+/// fail (returns `None`) rather than panic, because in the protocol the
+/// point list is keyed by node id and duplicates indicate caller error only
+/// in tests.
+///
+/// # Example
+///
+/// ```
+/// use byzclock_field::{Fp, Poly, rs};
+///
+/// # fn main() -> Result<(), byzclock_field::FieldError> {
+/// let fp = Fp::new(11)?;
+/// let p = Poly::from_coeffs(vec![4, 2]); // 4 + 2x
+/// let mut pts: Vec<(u64, u64)> = (1..=5).map(|x| (x, p.eval(&fp, x))).collect();
+/// pts[2].1 = fp.add(pts[2].1, 1); // corrupt one share
+/// assert_eq!(rs::decode(&fp, &pts, 1), Some(p));
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(fp: &Fp, points: &[(FpElem, FpElem)], degree: usize) -> Option<Poly> {
+    let n = points.len();
+    if n == 0 {
+        return None;
+    }
+    let max_errors = (n.saturating_sub(degree + 1)) / 2;
+    // Distinct-x sanity check (protocol callers key points by node id).
+    for (i, &(xi, _)) in points.iter().enumerate() {
+        for &(xj, _) in &points[i + 1..] {
+            if fp.reduce(xi) == fp.reduce(xj) {
+                return None;
+            }
+        }
+    }
+    decode_with_errors(fp, points, degree, max_errors)
+}
+
+/// Berlekamp–Welch with an explicit error budget `e`.
+///
+/// Tries `e, e-1, …, 0` until a candidate polynomial explains all but at
+/// most `e` of the points. Exposed for tests and for callers that know a
+/// tighter bound than `(n - degree - 1) / 2`.
+pub fn decode_with_errors(
+    fp: &Fp,
+    points: &[(FpElem, FpElem)],
+    degree: usize,
+    max_errors: usize,
+) -> Option<Poly> {
+    let n = points.len();
+    if n < degree + 1 {
+        return None;
+    }
+    let budget = max_errors.min((n - degree - 1) / 2);
+    // Ascending e: the clean/low-error case (the common one) solves the
+    // smallest system. Correctness does not depend on the order — any
+    // candidate within `budget` mismatches of the view is the unique
+    // codeword at that distance.
+    for e in 0..=budget {
+        if let Some(p) = try_decode(fp, points, degree, e) {
+            // Accept only if the candidate explains all but <= budget points;
+            // this rejects spurious solutions of the key equation.
+            let mismatches = points
+                .iter()
+                .filter(|&&(x, y)| p.eval(fp, x) != fp.reduce(y))
+                .count();
+            if mismatches <= budget && p.degree().map_or(true, |d| d <= degree) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// One Berlekamp–Welch attempt with exactly `e` presumed errors.
+///
+/// Solves for `E(x)` monic of degree `e` and `Q(x)` of degree `<= degree+e`
+/// such that `Q(x_i) = y_i * E(x_i)` for every point, then returns `Q / E`
+/// when the division is exact.
+fn try_decode(fp: &Fp, points: &[(FpElem, FpElem)], degree: usize, e: usize) -> Option<Poly> {
+    let n = points.len();
+    let q_len = degree + e + 1; // unknown coefficients of Q
+    let unknowns = q_len + e; // plus e non-leading coefficients of E
+    let mut a = Vec::with_capacity(n);
+    let mut b = Vec::with_capacity(n);
+    for &(x, y) in points {
+        let x = fp.reduce(x);
+        let y = fp.reduce(y);
+        let mut row = vec![0; unknowns];
+        // Q coefficients: + x^j
+        let mut xp: FpElem = 1 % fp.modulus();
+        for coef in row.iter_mut().take(q_len) {
+            *coef = xp;
+            xp = fp.mul(xp, x);
+        }
+        // E coefficients (non-leading): - y * x^j
+        let mut xp: FpElem = 1 % fp.modulus();
+        for coef in row.iter_mut().skip(q_len) {
+            *coef = fp.neg(fp.mul(y, xp));
+            xp = fp.mul(xp, x);
+        }
+        // Monic leading term of E moves to the rhs: y * x^e
+        let rhs = fp.mul(y, fp.pow(x, e as u64));
+        a.push(row);
+        b.push(rhs);
+    }
+    let sol = linalg::solve(fp, a, b, unknowns)?;
+    let q = Poly::from_coeffs(sol[..q_len].to_vec());
+    let mut e_coeffs = sol[q_len..].to_vec();
+    e_coeffs.push(1); // monic
+    let e_poly = Poly::from_coeffs(e_coeffs);
+    let (p, rem) = q.divmod(fp, &e_poly).ok()?;
+    if rem.is_zero() {
+        Some(p)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn eval_points(fp: &Fp, p: &Poly, n: u64) -> Vec<(u64, u64)> {
+        (1..=n).map(|x| (x, p.eval(fp, x))).collect()
+    }
+
+    #[test]
+    fn decodes_clean_shares() {
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![5, 3, 7]);
+        let pts = eval_points(&fp, &p, 7);
+        assert_eq!(decode(&fp, &pts, 2), Some(p));
+    }
+
+    #[test]
+    fn decodes_with_max_budget_errors() {
+        // n = 7, degree = 2 -> budget = (7 - 3) / 2 = 2 errors.
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![5, 3, 7]);
+        let mut pts = eval_points(&fp, &p, 7);
+        pts[0].1 = fp.add(pts[0].1, 3);
+        pts[4].1 = fp.add(pts[4].1, 9);
+        assert_eq!(decode(&fp, &pts, 2), Some(p));
+    }
+
+    #[test]
+    fn fails_beyond_budget() {
+        // Three errors against a budget of two: must not return the original.
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![5, 3, 7]);
+        let mut pts = eval_points(&fp, &p, 7);
+        for i in 0..3 {
+            pts[i].1 = fp.add(pts[i].1, 1);
+        }
+        assert_ne!(decode(&fp, &pts, 2), Some(p));
+    }
+
+    #[test]
+    fn too_few_points_fails() {
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![5, 3, 7]);
+        let pts = eval_points(&fp, &p, 2);
+        assert_eq!(decode(&fp, &pts, 2), None);
+    }
+
+    #[test]
+    fn duplicate_x_fails_cleanly() {
+        let fp = Fp::new(11).unwrap();
+        let pts = vec![(1, 2), (1, 3), (2, 4), (3, 5)];
+        assert_eq!(decode(&fp, &pts, 1), None);
+    }
+
+    #[test]
+    fn zero_polynomial_decodes() {
+        let fp = Fp::new(11).unwrap();
+        let pts: Vec<_> = (1..=5u64).map(|x| (x, 0u64)).collect();
+        assert_eq!(decode(&fp, &pts, 1), Some(Poly::zero()));
+    }
+
+    #[test]
+    fn binding_under_equivocated_shares() {
+        // Byzantine nodes may send *different* corrupted shares to different
+        // observers; both observers must still decode the same polynomial.
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![8, 1, 2]);
+        let base = eval_points(&fp, &p, 7);
+        let mut view_a = base.clone();
+        let mut view_b = base.clone();
+        view_a[1].1 = 0;
+        view_a[6].1 = 5;
+        view_b[1].1 = 9;
+        view_b[6].1 = 1;
+        assert_eq!(decode(&fp, &view_a, 2), Some(p.clone()));
+        assert_eq!(decode(&fp, &view_b, 2), Some(p));
+    }
+
+    proptest! {
+        /// Shamir recovery with adversarial corruption: n = 3f + 1 shares,
+        /// f of them corrupted arbitrarily, degree-f secret polynomial.
+        #[test]
+        fn shamir_recover_under_f_faults(seed in 0u64..300, f in 1usize..4) {
+            let n = 3 * f + 1;
+            let fp = Fp::for_cluster(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let secret = fp.sample(&mut rng);
+            let p = Poly::random_with_secret(&fp, secret, f, &mut rng);
+            let mut pts = eval_points(&fp, &p, n as u64);
+            // Corrupt f distinct shares with arbitrary values.
+            for i in 0..f {
+                pts[i].1 = fp.sample(&mut rng);
+            }
+            let decoded = decode(&fp, &pts, f).expect("within Berlekamp-Welch budget");
+            prop_assert_eq!(decoded.eval(&fp, 0), secret);
+        }
+
+        /// Random polynomials, random error patterns within budget.
+        #[test]
+        fn random_error_patterns(seed in 0u64..300, degree in 0usize..4, extra in 0usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fp = Fp::new(101).unwrap();
+            let budget = extra / 2;
+            let n = degree + 1 + 2 * budget;
+            let p = Poly::random_with_secret(&fp, fp.sample(&mut rng), degree, &mut rng);
+            let mut pts = eval_points(&fp, &p, n as u64);
+            let mut corrupted = 0usize;
+            while corrupted < budget {
+                let idx = rng.random_range(0..n);
+                let new_y = fp.sample(&mut rng);
+                if new_y != p.eval(&fp, pts[idx].0) {
+                    pts[idx].1 = new_y;
+                    corrupted += 1;
+                }
+            }
+            prop_assert_eq!(decode(&fp, &pts, degree), Some(p));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The Byzantine adversary interface.
+//!
+//! The paper assumes an *information-theoretic adversary with private
+//! channels*: it sees every message that touches a faulty node (which
+//! includes the content of all broadcasts) but not unicasts between correct
+//! nodes, it may coordinate all faulty nodes, equivocate per recipient, stay
+//! silent, and *rush* — choose its messages for a phase after observing the
+//! correct nodes' messages of that same phase.
+
+use crate::{Envelope, NodeId, SimRng, Target};
+
+/// What the adversary is allowed to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Visibility {
+    /// The paper's model: only envelopes addressed to a Byzantine node are
+    /// visible. Broadcast payloads are therefore visible (a broadcast
+    /// reaches the Byzantine nodes), but correct-to-correct unicasts — the
+    /// coin's private shares — are not.
+    #[default]
+    PrivateChannels,
+    /// Everything is visible — *stronger than the model*; used only by
+    /// what-if ablations (e.g. showing which protocols break when channel
+    /// privacy is lost).
+    Omniscient,
+}
+
+/// Everything the adversary can see when choosing a phase's Byzantine
+/// traffic.
+pub struct AdversaryView<'a, M> {
+    pub(crate) beat: u64,
+    pub(crate) phase: usize,
+    pub(crate) n: usize,
+    pub(crate) f: usize,
+    pub(crate) byz: &'a [NodeId],
+    pub(crate) visible: &'a [Envelope<M>],
+}
+
+impl<'a, M> AdversaryView<'a, M> {
+    /// Current beat number (for scheduling attacks; protocols themselves
+    /// never see this).
+    pub fn beat(&self) -> u64 {
+        self.beat
+    }
+
+    /// Current exchange phase within the beat.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Fault budget.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The Byzantine node ids under this adversary's control.
+    pub fn byzantine(&self) -> &[NodeId] {
+        self.byz
+    }
+
+    /// All envelopes visible under the configured [`Visibility`], in
+    /// deterministic (sender, emission) order. Rushing is implicit: these
+    /// are the *current* phase's correct messages.
+    pub fn visible(&self) -> &[Envelope<M>] {
+        self.visible
+    }
+
+    /// Convenience: the visible envelopes addressed to `to`.
+    pub fn visible_to(&self, to: NodeId) -> impl Iterator<Item = &Envelope<M>> {
+        self.visible.iter().filter(move |e| e.to == to)
+    }
+
+    /// Convenience: one visible copy of each broadcast-style message a
+    /// correct sender directed at Byzantine node `observer` — the usual way
+    /// adversaries read the correct nodes' public values.
+    pub fn observed_by(&self, observer: NodeId) -> impl Iterator<Item = &Envelope<M>> {
+        self.visible.iter().filter(move |e| e.to == observer)
+    }
+
+    /// Iterates over all node ids.
+    pub fn all_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n as u16).map(NodeId::new)
+    }
+
+    /// `true` if `id` is Byzantine.
+    pub fn is_byzantine(&self, id: NodeId) -> bool {
+        self.byz.contains(&id)
+    }
+}
+
+/// Collects the Byzantine nodes' envelopes for a phase.
+///
+/// The network is authenticated: attempts to send from a non-Byzantine
+/// identity are dropped (and counted), reproducing Def. 2.2(2).
+pub struct ByzOutbox<'a, M> {
+    byz: &'a [NodeId],
+    sends: Vec<Envelope<M>>,
+    forged_dropped: u64,
+    n: usize,
+    rng: &'a mut SimRng,
+}
+
+impl<'a, M: Clone> ByzOutbox<'a, M> {
+    pub(crate) fn new(byz: &'a [NodeId], n: usize, rng: &'a mut SimRng) -> Self {
+        ByzOutbox { byz, sends: Vec::new(), forged_dropped: 0, n, rng }
+    }
+
+    /// Send `msg` from Byzantine node `from` to `to`. Silently dropped (and
+    /// counted) if `from` is not under adversary control.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        if self.byz.contains(&from) {
+            self.sends.push(Envelope { from, to, msg });
+        } else {
+            self.forged_dropped += 1;
+        }
+    }
+
+    /// Send `msg` from `from` to every node (including other Byzantine
+    /// nodes, matching the accounting of a correct broadcast).
+    pub fn broadcast(&mut self, from: NodeId, msg: M) {
+        for to in (0..self.n as u16).map(NodeId::new) {
+            self.send(from, to, msg.clone());
+        }
+    }
+
+    /// Deterministic adversary RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Envelope<M>>, u64) {
+        (self.sends, self.forged_dropped)
+    }
+}
+
+/// A strategy controlling all Byzantine nodes.
+///
+/// Called once per exchange phase, after the correct nodes' sends of that
+/// phase (rushing). Implementations may keep state across beats — the
+/// adversary is not subject to transient faults.
+pub trait Adversary<M: Clone> {
+    /// Choose the Byzantine envelopes for this phase.
+    fn act(&mut self, view: &AdversaryView<'_, M>, out: &mut ByzOutbox<'_, M>);
+}
+
+/// The crash-like adversary: Byzantine nodes never send anything.
+///
+/// Useful as a baseline; note that for threshold protocols silence is far
+/// from harmless (it shrinks every observed vote vector to `n - f`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentAdversary;
+
+impl<M: Clone> Adversary<M> for SilentAdversary {
+    fn act(&mut self, _view: &AdversaryView<'_, M>, _out: &mut ByzOutbox<'_, M>) {}
+}
+
+/// Filters envelopes per the visibility policy.
+pub(crate) fn visible_slice<M: Clone>(
+    all: &[Envelope<M>],
+    byz: &[NodeId],
+    visibility: Visibility,
+) -> Vec<Envelope<M>> {
+    match visibility {
+        Visibility::Omniscient => all.to_vec(),
+        Visibility::PrivateChannels => {
+            all.iter().filter(|e| byz.contains(&e.to)).cloned().collect()
+        }
+    }
+}
+
+/// Expands a correct node's sends into stamped envelopes.
+pub(crate) fn stamp<M: Clone>(
+    from: NodeId,
+    sends: Vec<(Target, M)>,
+    n: usize,
+    out: &mut Vec<Envelope<M>>,
+) {
+    for (target, msg) in sends {
+        match target {
+            Target::One(to) => out.push(Envelope { from, to, msg }),
+            Target::All => {
+                for to in (0..n as u16).map(NodeId::new) {
+                    out.push(Envelope { from, to, msg: msg.clone() });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forged_sender_is_dropped() {
+        let byz = [NodeId::new(3)];
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut out = ByzOutbox::new(&byz, 4, &mut rng);
+        out.send(NodeId::new(3), NodeId::new(0), 1u64); // legit
+        out.send(NodeId::new(1), NodeId::new(0), 2u64); // forged
+        let (sends, forged) = out.into_parts();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(forged, 1);
+        assert_eq!(sends[0].from, NodeId::new(3));
+    }
+
+    #[test]
+    fn byz_broadcast_reaches_all() {
+        let byz = [NodeId::new(0)];
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut out = ByzOutbox::new(&byz, 5, &mut rng);
+        out.broadcast(NodeId::new(0), 9u64);
+        let (sends, forged) = out.into_parts();
+        assert_eq!(sends.len(), 5);
+        assert_eq!(forged, 0);
+    }
+
+    #[test]
+    fn private_channels_hide_correct_unicasts() {
+        let byz = vec![NodeId::new(2)];
+        let all = vec![
+            Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: 1u64 }, // hidden
+            Envelope { from: NodeId::new(0), to: NodeId::new(2), msg: 2u64 }, // visible
+        ];
+        let vis = visible_slice(&all, &byz, Visibility::PrivateChannels);
+        assert_eq!(vis.len(), 1);
+        assert_eq!(vis[0].msg, 2);
+        let omni = visible_slice(&all, &byz, Visibility::Omniscient);
+        assert_eq!(omni.len(), 2);
+    }
+
+    #[test]
+    fn stamp_expands_broadcast_to_all() {
+        let mut out = Vec::new();
+        stamp(NodeId::new(1), vec![(Target::All, 7u64)], 4, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|e| e.from == NodeId::new(1) && e.msg == 7));
+        let tos: Vec<u16> = out.iter().map(|e| e.to.raw()).collect();
+        assert_eq!(tos, vec![0, 1, 2, 3]);
+    }
+}

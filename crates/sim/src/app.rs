@@ -1,0 +1,89 @@
+//! The node-side protocol contract.
+
+use crate::{Envelope, NodeId, SimRng, Target, Wire};
+
+/// A protocol stack running on one correct node.
+///
+/// The simulator drives each beat through `phases()` exchange phases; in
+/// every phase it first calls [`Application::send`] on all correct nodes,
+/// then lets the adversary inject Byzantine traffic, then calls
+/// [`Application::deliver`] with everything addressed to this node. A
+/// message sent in phase `p` of beat `r` is delivered in phase `p` of beat
+/// `r` — "before the next beat" in the paper's terms, with multi-phase
+/// beats modelling the paper's sequential in-beat exchanges (Fig. 3 line 2,
+/// Fig. 4 step 3).
+///
+/// **Self-stabilization contract**: [`Application::corrupt`] must overwrite
+/// every *state* variable with an arbitrary value of its type (using the
+/// supplied RNG). Static configuration — `n`, `f`, the node id, protocol
+/// constants — is "part of the code" (Remark 2.1) and must survive.
+pub trait Application {
+    /// The message type exchanged by this protocol stack.
+    type Msg: Clone + std::fmt::Debug + Wire;
+
+    /// Number of exchange phases per beat (constant per protocol).
+    fn phases(&self) -> usize {
+        1
+    }
+
+    /// Emit this node's messages for the given phase of the current beat.
+    fn send(&mut self, phase: usize, out: &mut Outbox<'_, Self::Msg>);
+
+    /// Process the messages delivered to this node in the given phase.
+    /// `inbox` is sorted by sender id; a sender appears zero or more times.
+    fn deliver(&mut self, phase: usize, inbox: &[Envelope<Self::Msg>], rng: &mut SimRng);
+
+    /// Transient fault: scramble all protocol state arbitrarily.
+    fn corrupt(&mut self, rng: &mut SimRng);
+}
+
+/// Collects one node's outgoing messages for a phase.
+pub struct Outbox<'a, M> {
+    sends: Vec<(Target, M)>,
+    rng: &'a mut SimRng,
+}
+
+impl<'a, M> Outbox<'a, M> {
+    pub(crate) fn new(rng: &'a mut SimRng) -> Self {
+        Outbox { sends: Vec::new(), rng }
+    }
+
+    /// Queue a unicast.
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        self.sends.push((Target::One(to), msg));
+    }
+
+    /// Queue a broadcast — delivered to *all* nodes, the sender included
+    /// (the paper counts the sender's own value among the `n` entries).
+    pub fn broadcast(&mut self, msg: M) {
+        self.sends.push((Target::All, msg));
+    }
+
+    /// The node's deterministic RNG, for protocols that randomize at send
+    /// time (e.g. the coin's dealing round).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    pub(crate) fn into_sends(self) -> Vec<(Target, M)> {
+        self.sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outbox_collects_in_order() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut out = Outbox::new(&mut rng);
+        out.broadcast(1u64);
+        out.unicast(NodeId::new(2), 2u64);
+        let sends = out.into_sends();
+        assert_eq!(sends.len(), 2);
+        assert_eq!(sends[0], (Target::All, 1));
+        assert_eq!(sends[1], (Target::One(NodeId::new(2)), 2));
+    }
+}

@@ -1,0 +1,170 @@
+//! Simulation construction.
+
+use crate::adversary::{Adversary, Visibility};
+use crate::rng::stream_rng;
+use crate::runner::Simulation;
+use crate::{Application, FaultPlan, NodeCfg, NodeId, SimRng};
+
+/// Builder for a [`Simulation`].
+///
+/// `n` and the protocol fault budget `f` are the paper's code constants;
+/// which nodes are *actually* Byzantine is chosen separately (default: the
+/// `f` highest ids) so experiments can explore the resiliency boundary by
+/// placing more real faults than the protocol tolerates.
+///
+/// # Example
+///
+/// ```
+/// use byzclock_sim::{SimBuilder, NodeId};
+///
+/// let builder = SimBuilder::new(7, 2)
+///     .seed(42)
+///     .byzantine([0u16, 3]);
+/// # let _ = builder;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    n: usize,
+    f: usize,
+    byz: Vec<NodeId>,
+    seed: u64,
+    visibility: Visibility,
+    fault_plan: FaultPlan,
+    history_cap: usize,
+}
+
+impl SimBuilder {
+    /// Starts a builder for an `n`-node cluster whose protocols are
+    /// configured with fault budget `f`. By default the `f` highest node
+    /// ids are Byzantine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `f >= n`.
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 1, "cluster must have at least one node");
+        assert!(f < n, "fault budget must leave at least one correct node");
+        let byz = ((n - f) as u16..n as u16).map(NodeId::new).collect();
+        SimBuilder {
+            n,
+            f,
+            byz,
+            seed: 0,
+            visibility: Visibility::PrivateChannels,
+            fault_plan: FaultPlan::none(),
+            history_cap: 4096,
+        }
+    }
+
+    /// Chooses which nodes are actually Byzantine (any count `< n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range, duplicated, or all nodes would be
+    /// Byzantine.
+    pub fn byzantine<I>(mut self, ids: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<NodeId>,
+    {
+        let mut byz: Vec<NodeId> = ids.into_iter().map(Into::into).collect();
+        byz.sort_unstable();
+        let before = byz.len();
+        byz.dedup();
+        assert_eq!(before, byz.len(), "duplicate byzantine id");
+        assert!(byz.iter().all(|id| id.index() < self.n), "byzantine id out of range");
+        assert!(byz.len() < self.n, "at least one node must stay correct");
+        self.byz = byz;
+        self
+    }
+
+    /// No Byzantine nodes at all (fault-free runs).
+    pub fn all_correct(mut self) -> Self {
+        self.byz.clear();
+        self
+    }
+
+    /// Master seed; everything in the run derives from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adversary visibility policy (default: the paper's private channels).
+    pub fn visibility(mut self, visibility: Visibility) -> Self {
+        self.visibility = visibility;
+        self
+    }
+
+    /// Schedules transient faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Capacity of the stale-traffic ring used for phantom replay.
+    pub fn history_cap(mut self, cap: usize) -> Self {
+        self.history_cap = cap;
+        self
+    }
+
+    /// Builds the simulation: `factory` constructs the protocol stack for
+    /// each correct node (Byzantine slots get no application — the
+    /// adversary speaks for them).
+    pub fn build<A, Adv, F>(self, mut factory: F, adversary: Adv) -> Simulation<A, Adv>
+    where
+        A: Application,
+        Adv: Adversary<A::Msg>,
+        F: FnMut(NodeCfg, &mut SimRng) -> A,
+    {
+        let SimBuilder { n, f, byz, seed, visibility, fault_plan, history_cap } = self;
+        let mut apps = Vec::with_capacity(n);
+        let mut node_rngs = Vec::with_capacity(n);
+        for i in 0..n as u16 {
+            let id = NodeId::new(i);
+            let mut rng = stream_rng(seed, u64::from(i));
+            let app = if byz.contains(&id) {
+                None
+            } else {
+                Some(factory(NodeCfg::new(id, n, f), &mut rng))
+            };
+            apps.push(app);
+            node_rngs.push(rng);
+        }
+        let adv_rng = stream_rng(seed, 1 << 32);
+        let fault_rng = stream_rng(seed, (1 << 32) + 1);
+        Simulation::from_parts(
+            n, f, byz, visibility, apps, node_rngs, adversary, adv_rng, fault_rng, fault_plan,
+            history_cap,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_byzantine_are_highest_ids() {
+        let b = SimBuilder::new(7, 2);
+        assert_eq!(b.byz, vec![NodeId::new(5), NodeId::new(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault budget")]
+    fn rejects_f_equal_n() {
+        let _ = SimBuilder::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_byzantine() {
+        let _ = SimBuilder::new(4, 1).byzantine([2u16, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_byzantine() {
+        let _ = SimBuilder::new(4, 1).byzantine([4u16]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Message envelopes and send targets.
+
+use crate::NodeId;
+
+/// A message in flight: sender, recipient, payload.
+///
+/// The simulator stamps `from` itself for correct nodes — the network is
+/// authenticated (Def. 2.2(2) of the paper), so a Byzantine node can only
+/// forge envelopes from *its own* identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender identity (authenticated by the network).
+    pub from: NodeId,
+    /// Recipient identity.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Addressing mode for an outgoing message.
+///
+/// The paper's footnote: "broadcast" means *send the message to all nodes*
+/// — there are no broadcast channels, so a broadcast is accounted as `n`
+/// unicasts (the sender included, which keeps the `n`-entry vote vectors of
+/// Observation 3.1 literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Send to every node, including the sender itself.
+    All,
+    /// Send to one node.
+    One(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_plain_data() {
+        let e = Envelope { from: NodeId::new(1), to: NodeId::new(2), msg: 42u64 };
+        let e2 = e.clone();
+        assert_eq!(e, e2);
+        assert_eq!(format!("{e:?}").contains("42"), true);
+    }
+}

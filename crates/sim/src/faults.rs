@@ -1,0 +1,122 @@
+//! Transient-fault injection.
+//!
+//! Self-stabilization (Definitions 2.2–2.5 of the paper) is about what
+//! happens *after* a period in which "one cannot assume anything about the
+//! state of any node, and the communication network may also behave
+//! erratically". This module produces exactly those conditions on demand:
+//!
+//! - **memory scrambling** — [`FaultKind::CorruptNodes`] /
+//!   [`FaultKind::CorruptAllCorrect`] call [`crate::Application::corrupt`],
+//!   which overwrites every state variable with an arbitrary value;
+//! - **phantom messages** — [`FaultKind::PhantomBurst`] replays mutated
+//!   copies of stale traffic out of the network's history buffer into the
+//!   next beat's deliveries, violating Def. 2.2(3) for that beat;
+//! - **blackout** — [`FaultKind::Blackout`] drops all deliveries for a
+//!   number of beats, violating Def. 2.2(1).
+//!
+//! Faults fire at the *end* of the configured beat; the convergence clock of
+//! every experiment starts after the last scheduled fault.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled transient fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The beat at whose end the fault fires.
+    pub beat: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kinds of transient faults the harness can inject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Scramble the entire protocol state of the listed (correct) nodes.
+    CorruptNodes(Vec<NodeId>),
+    /// Scramble the state of every correct node — the harshest start.
+    CorruptAllCorrect,
+    /// Redeliver `count` stale envelopes from the history buffer, with
+    /// randomized recipients, at the next beat (phase 0).
+    PhantomBurst {
+        /// How many phantom envelopes to inject.
+        count: usize,
+    },
+    /// Drop all deliveries for the next `beats` beats.
+    Blackout {
+        /// Number of beats during which nothing is delivered.
+        beats: u64,
+    },
+}
+
+/// A schedule of transient faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the network is non-faulty throughout).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from events (kept sorted by beat).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.beat);
+        FaultPlan { events }
+    }
+
+    /// Adds an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.beat);
+    }
+
+    /// The beat after which the network is guaranteed non-faulty again
+    /// (`None` for an empty plan).
+    pub fn last_fault_beat(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::Blackout { beats } => e.beat + beats,
+                _ => e.beat,
+            })
+            .max()
+    }
+
+    /// Events scheduled for the end of `beat`.
+    pub(crate) fn events_at(&self, beat: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.beat == beat)
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_reports_last_beat() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent { beat: 9, kind: FaultKind::CorruptAllCorrect },
+            FaultEvent { beat: 3, kind: FaultKind::PhantomBurst { count: 10 } },
+            FaultEvent { beat: 5, kind: FaultKind::Blackout { beats: 7 } },
+        ]);
+        assert_eq!(plan.events()[0].beat, 3);
+        // The blackout stretches to beat 12, past the beat-9 corruption.
+        assert_eq!(plan.last_fault_beat(), Some(12));
+        assert_eq!(plan.events_at(5).count(), 1);
+        assert_eq!(plan.events_at(4).count(), 0);
+    }
+
+    #[test]
+    fn empty_plan_has_no_last_beat() {
+        assert_eq!(FaultPlan::none().last_fault_beat(), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Node identity and per-node static configuration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a node in the fully-connected cluster, in `0..n`.
+///
+/// Node ids are *code*, not state: the paper's Remark 2.1 fixes `n` and `f`
+/// (and implicitly each node's identity) as constants that transient faults
+/// cannot scramble, which is why this type appears in [`NodeCfg`] rather
+/// than in protocol state structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from its integer index.
+    pub fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw integer value.
+    pub fn raw(&self) -> u16 {
+        self.0
+    }
+
+    /// The id as a `usize` index into per-node vectors.
+    pub fn index(&self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The evaluation point used for this node in secret sharing
+    /// (`id + 1`, so that node 0 does not evaluate at the secret point 0).
+    pub fn share_point(&self) -> u64 {
+        u64::from(self.0) + 1
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(fmt, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Static, fault-immune configuration every protocol instance is built
+/// with: the node's identity and the cluster constants `n` and `f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeCfg {
+    /// This node's identity.
+    pub id: NodeId,
+    /// Total number of nodes.
+    pub n: usize,
+    /// Maximum number of Byzantine nodes tolerated.
+    pub f: usize,
+}
+
+impl NodeCfg {
+    /// Convenience constructor.
+    pub fn new(id: NodeId, n: usize, f: usize) -> Self {
+        NodeCfg { id, n, f }
+    }
+
+    /// The quorum size `n - f` used by every threshold test in the paper.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn all_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n as u16).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let id = NodeId::new(3);
+        assert_eq!(id.to_string(), "n3");
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.share_point(), 4);
+        assert_eq!(NodeId::from(3u16), id);
+    }
+
+    #[test]
+    fn quorum_matches_paper_threshold() {
+        let cfg = NodeCfg::new(NodeId::new(0), 7, 2);
+        assert_eq!(cfg.quorum(), 5);
+        assert_eq!(cfg.all_ids().count(), 7);
+    }
+
+    #[test]
+    fn share_points_are_distinct_and_nonzero() {
+        let cfg = NodeCfg::new(NodeId::new(0), 13, 4);
+        let pts: Vec<u64> = cfg.all_ids().map(|id| id.share_point()).collect();
+        assert!(pts.iter().all(|&p| p != 0));
+        let mut dedup = pts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), pts.len());
+    }
+}

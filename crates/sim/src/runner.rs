@@ -1,0 +1,482 @@
+//! The beat-by-beat simulation loop.
+
+use crate::adversary::{stamp, visible_slice, Adversary, AdversaryView, ByzOutbox, Visibility};
+use crate::app::{Application, Outbox};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::stats::TrafficStats;
+use crate::wire::Wire;
+use crate::{Envelope, NodeId, SimRng};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A running cluster: `n` nodes, one adversary, a fault plan, and a beat
+/// counter. Construct with [`crate::SimBuilder`].
+///
+/// Each [`Simulation::step`] advances one beat:
+///
+/// 1. for every exchange phase: correct nodes send, the adversary acts
+///    (rushing), everything is delivered (unless blacked out);
+/// 2. scheduled fault events fire at the end of the beat.
+pub struct Simulation<A: Application, Adv> {
+    n: usize,
+    f: usize,
+    byz: Vec<NodeId>,
+    visibility: Visibility,
+    apps: Vec<Option<A>>,
+    node_rngs: Vec<SimRng>,
+    adversary: Adv,
+    adv_rng: SimRng,
+    fault_rng: SimRng,
+    fault_plan: FaultPlan,
+    beat: u64,
+    stats: TrafficStats,
+    history: VecDeque<Envelope<A::Msg>>,
+    history_cap: usize,
+    pending_phantoms: Vec<Envelope<A::Msg>>,
+    blackout_until: u64,
+}
+
+impl<A, Adv> Simulation<A, Adv>
+where
+    A: Application,
+    Adv: Adversary<A::Msg>,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        f: usize,
+        byz: Vec<NodeId>,
+        visibility: Visibility,
+        apps: Vec<Option<A>>,
+        node_rngs: Vec<SimRng>,
+        adversary: Adv,
+        adv_rng: SimRng,
+        fault_rng: SimRng,
+        fault_plan: FaultPlan,
+        history_cap: usize,
+    ) -> Self {
+        Simulation {
+            n,
+            f,
+            byz,
+            visibility,
+            apps,
+            node_rngs,
+            adversary,
+            adv_rng,
+            fault_rng,
+            fault_plan,
+            beat: 0,
+            stats: TrafficStats::default(),
+            history: VecDeque::new(),
+            history_cap,
+            pending_phantoms: Vec::new(),
+            blackout_until: 0,
+        }
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Protocol fault budget.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The actually-Byzantine node ids.
+    pub fn byzantine(&self) -> &[NodeId] {
+        &self.byz
+    }
+
+    /// Beats executed so far.
+    pub fn beat(&self) -> u64 {
+        self.beat
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// The application of node `id`, if it is correct.
+    pub fn app(&self, id: NodeId) -> Option<&A> {
+        self.apps.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterates over `(id, app)` for every correct node.
+    pub fn correct_apps(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.apps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, app)| app.as_ref().map(|a| (NodeId::new(i as u16), a)))
+    }
+
+    /// Runs one beat.
+    pub fn step(&mut self) {
+        let phases = self
+            .apps
+            .iter()
+            .flatten()
+            .next()
+            .map_or(1, Application::phases);
+        self.stats.begin_beat();
+
+        for phase in 0..phases {
+            // --- send phase: correct nodes ---
+            let mut envelopes: Vec<Envelope<A::Msg>> = Vec::new();
+            for i in 0..self.n {
+                if let Some(app) = self.apps[i].as_mut() {
+                    let mut out = Outbox::new(&mut self.node_rngs[i]);
+                    app.send(phase, &mut out);
+                    stamp(NodeId::new(i as u16), out.into_sends(), self.n, &mut envelopes);
+                }
+            }
+            {
+                let cur = self.stats.current();
+                cur.correct_msgs += envelopes.len() as u64;
+                cur.correct_bytes += envelopes.iter().map(|e| e.msg.encoded_len() as u64).sum::<u64>();
+            }
+
+            // --- adversary phase (rushing: sees this phase's traffic) ---
+            let visible = visible_slice(&envelopes, &self.byz, self.visibility);
+            let view = AdversaryView {
+                beat: self.beat,
+                phase,
+                n: self.n,
+                f: self.f,
+                byz: &self.byz,
+                visible: &visible,
+            };
+            let mut byz_out = ByzOutbox::new(&self.byz, self.n, &mut self.adv_rng);
+            self.adversary.act(&view, &mut byz_out);
+            let (byz_envelopes, forged) = byz_out.into_parts();
+            {
+                let cur = self.stats.current();
+                cur.byz_msgs += byz_envelopes.len() as u64;
+                cur.byz_bytes +=
+                    byz_envelopes.iter().map(|e| e.msg.encoded_len() as u64).sum::<u64>();
+                cur.forged_dropped += forged;
+            }
+            envelopes.extend(byz_envelopes);
+
+            // --- phantom replay from an earlier fault event ---
+            if phase == 0 && !self.pending_phantoms.is_empty() {
+                let phantoms = std::mem::take(&mut self.pending_phantoms);
+                self.stats.current().phantom_msgs += phantoms.len() as u64;
+                envelopes.extend(phantoms);
+            }
+
+            // --- record history for future phantom replay ---
+            for e in &envelopes {
+                if self.history.len() == self.history_cap {
+                    self.history.pop_front();
+                }
+                self.history.push_back(e.clone());
+            }
+
+            // --- deliver ---
+            if self.beat >= self.blackout_until {
+                let mut per_node: Vec<Vec<Envelope<A::Msg>>> =
+                    (0..self.n).map(|_| Vec::new()).collect();
+                for e in envelopes {
+                    let idx = e.to.index();
+                    if idx < self.n {
+                        per_node[idx].push(e);
+                    }
+                }
+                for (i, mut inbox) in per_node.into_iter().enumerate() {
+                    if let Some(app) = self.apps[i].as_mut() {
+                        inbox.sort_by_key(|e| e.from);
+                        app.deliver(phase, &inbox, &mut self.node_rngs[i]);
+                    }
+                }
+            }
+        }
+
+        // --- end-of-beat fault events ---
+        let events: Vec<FaultKind> =
+            self.fault_plan.events_at(self.beat).map(|e| e.kind.clone()).collect();
+        for kind in events {
+            self.apply_fault(kind);
+        }
+
+        self.beat += 1;
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::CorruptNodes(ids) => {
+                for id in ids {
+                    if let Some(app) = self.apps.get_mut(id.index()).and_then(Option::as_mut) {
+                        app.corrupt(&mut self.fault_rng);
+                    }
+                }
+            }
+            FaultKind::CorruptAllCorrect => {
+                for app in self.apps.iter_mut().flatten() {
+                    app.corrupt(&mut self.fault_rng);
+                }
+            }
+            FaultKind::PhantomBurst { count } => {
+                if self.history.is_empty() {
+                    return;
+                }
+                for _ in 0..count {
+                    let idx = self.fault_rng.random_range(0..self.history.len());
+                    let mut e = self.history[idx].clone();
+                    // Stale traffic resurfaces at an arbitrary recipient.
+                    e.to = NodeId::new(self.fault_rng.random_range(0..self.n as u16));
+                    self.pending_phantoms.push(e);
+                }
+            }
+            FaultKind::Blackout { beats } => {
+                self.blackout_until = self.blackout_until.max(self.beat + 1 + beats);
+            }
+        }
+    }
+
+    /// Runs exactly `beats` beats.
+    pub fn run_beats(&mut self, beats: u64) {
+        for _ in 0..beats {
+            self.step();
+        }
+    }
+
+    /// Steps until `pred` holds (checked before each step, so a
+    /// pre-satisfied predicate returns immediately) or `max_beat` is
+    /// reached. Returns the beat count at which the predicate first held.
+    pub fn run_until<P>(&mut self, max_beat: u64, pred: P) -> Option<u64>
+    where
+        P: Fn(&Self) -> bool,
+    {
+        loop {
+            if pred(self) {
+                return Some(self.beat);
+            }
+            if self.beat >= max_beat {
+                return None;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultEvent;
+    use crate::{SilentAdversary, SimBuilder};
+    use bytes::BytesMut;
+
+    /// Test app: broadcasts a tagged counter in phase 0 and echoes in later
+    /// phases what it saw in phase 0, recording everything.
+    #[derive(Debug)]
+    struct Recorder {
+        me: NodeId,
+        nphases: usize,
+        round_trips: Vec<(usize, u16, u64)>, // (phase, from, value)
+        counter: u64,
+        corrupted: bool,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tagged(u16, u64);
+    impl Wire for Tagged {
+        fn encode(&self, buf: &mut BytesMut) {
+            self.0.encode(buf);
+            self.1.encode(buf);
+        }
+    }
+
+    impl Application for Recorder {
+        type Msg = Tagged;
+        fn phases(&self) -> usize {
+            self.nphases
+        }
+        fn send(&mut self, phase: usize, out: &mut Outbox<'_, Tagged>) {
+            if phase == 0 {
+                out.broadcast(Tagged(self.me.raw(), self.counter));
+            } else {
+                // Echo in phase 1 proves phase-0 deliveries happened first.
+                out.unicast(self.me, Tagged(self.me.raw(), self.counter + 1000));
+            }
+        }
+        fn deliver(&mut self, phase: usize, inbox: &[Envelope<Tagged>], _rng: &mut SimRng) {
+            for e in inbox {
+                self.round_trips.push((phase, e.msg.0, e.msg.1));
+            }
+            if phase == self.nphases - 1 {
+                self.counter += 1;
+            }
+        }
+        fn corrupt(&mut self, _rng: &mut SimRng) {
+            self.corrupted = true;
+            self.counter = 999;
+        }
+    }
+
+    fn recorder_sim(
+        n: usize,
+        f: usize,
+        phases: usize,
+        plan: FaultPlan,
+    ) -> Simulation<Recorder, SilentAdversary> {
+        SimBuilder::new(n, f).seed(5).faults(plan).build(
+            move |cfg, _rng| Recorder {
+                me: cfg.id,
+                nphases: phases,
+                round_trips: Vec::new(),
+                counter: 0,
+                corrupted: false,
+            },
+            SilentAdversary,
+        )
+    }
+
+    #[test]
+    fn same_beat_delivery() {
+        let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
+        sim.step();
+        // 3 correct nodes broadcast; everyone (correct) hears all 3.
+        for (_, app) in sim.correct_apps() {
+            assert_eq!(app.round_trips.len(), 3);
+            assert!(app.round_trips.iter().all(|&(p, _, v)| p == 0 && v == 0));
+        }
+    }
+
+    #[test]
+    fn inbox_is_sorted_by_sender() {
+        let mut sim = recorder_sim(5, 1, 1, FaultPlan::none());
+        sim.run_beats(2);
+        for (_, app) in sim.correct_apps() {
+            let froms: Vec<u16> =
+                app.round_trips.iter().take(4).map(|&(_, from, _)| from).collect();
+            let mut sorted = froms.clone();
+            sorted.sort_unstable();
+            assert_eq!(froms, sorted);
+        }
+    }
+
+    #[test]
+    fn phases_run_in_order_within_a_beat() {
+        let mut sim = recorder_sim(4, 1, 2, FaultPlan::none());
+        sim.step();
+        for (_, app) in sim.correct_apps() {
+            // Phase 0: 3 broadcasts; phase 1: own echo carrying counter+1000
+            // computed *after* phase-0 deliveries of the same beat.
+            let phase1: Vec<_> =
+                app.round_trips.iter().filter(|&&(p, _, _)| p == 1).collect();
+            assert_eq!(phase1.len(), 1);
+            assert_eq!(phase1[0].2, 1000);
+        }
+    }
+
+    #[test]
+    fn byzantine_nodes_run_no_application() {
+        let sim = recorder_sim(4, 2, 1, FaultPlan::none());
+        assert_eq!(sim.correct_apps().count(), 2);
+        assert_eq!(sim.byzantine().len(), 2);
+        assert!(sim.app(NodeId::new(3)).is_none());
+        assert!(sim.app(NodeId::new(0)).is_some());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = recorder_sim(5, 1, 2, FaultPlan::none());
+            sim.run_beats(7);
+            let states: Vec<String> =
+                sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
+            let traffic = format!("{:?}", sim.stats().per_beat());
+            (states, traffic)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn corruption_fault_fires() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            beat: 1,
+            kind: FaultKind::CorruptNodes(vec![NodeId::new(0)]),
+        }]);
+        let mut sim = recorder_sim(4, 1, 1, plan);
+        sim.run_beats(3);
+        assert!(sim.app(NodeId::new(0)).unwrap().corrupted);
+        assert!(!sim.app(NodeId::new(1)).unwrap().corrupted);
+    }
+
+    #[test]
+    fn corrupt_all_correct_fault() {
+        let plan =
+            FaultPlan::new(vec![FaultEvent { beat: 0, kind: FaultKind::CorruptAllCorrect }]);
+        let mut sim = recorder_sim(4, 1, 1, plan);
+        sim.run_beats(1);
+        for (_, app) in sim.correct_apps() {
+            assert!(app.corrupted);
+        }
+    }
+
+    #[test]
+    fn blackout_drops_deliveries() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            beat: 0,
+            kind: FaultKind::Blackout { beats: 2 },
+        }]);
+        let mut sim = recorder_sim(4, 1, 1, plan);
+        sim.run_beats(4); // beat 0 delivers; 1 and 2 blacked out; 3 delivers
+        for (_, app) in sim.correct_apps() {
+            assert_eq!(app.round_trips.len(), 2 * 3);
+        }
+    }
+
+    #[test]
+    fn phantom_burst_replays_history() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            beat: 1,
+            kind: FaultKind::PhantomBurst { count: 8 },
+        }]);
+        let mut sim = recorder_sim(4, 1, 1, plan);
+        sim.run_beats(3);
+        let phantoms: u64 = sim.stats().per_beat().iter().map(|b| b.phantom_msgs).sum();
+        assert_eq!(phantoms, 8);
+        // Deliveries at beat 2 include stale values (counter 0 or 1 from
+        // beats 0-1 arriving at beat 2, where fresh values are 2).
+        let stale_seen = sim
+            .correct_apps()
+            .any(|(_, a)| a.round_trips.iter().filter(|&&(_, _, v)| v < 2).count() > 2 * 3);
+        assert!(stale_seen);
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
+        let hit = sim.run_until(100, |s| {
+            s.correct_apps().all(|(_, a)| a.counter >= 5)
+        });
+        assert_eq!(hit, Some(5));
+        // Pre-satisfied predicate returns immediately without stepping.
+        let again = sim.run_until(100, |s| s.beat() >= 5);
+        assert_eq!(again, Some(5));
+    }
+
+    #[test]
+    fn run_until_gives_up_at_max() {
+        let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
+        assert_eq!(sim.run_until(10, |_| false), None);
+        assert_eq!(sim.beat(), 10);
+    }
+
+    #[test]
+    fn traffic_accounting_counts_broadcasts_as_n_unicasts() {
+        let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
+        sim.step();
+        let beat0 = sim.stats().per_beat()[0];
+        // 3 correct nodes broadcast to 4 targets each.
+        assert_eq!(beat0.correct_msgs, 12);
+        // Tagged = u16 + u64 = 10 bytes.
+        assert_eq!(beat0.correct_bytes, 120);
+        assert_eq!(beat0.byz_msgs, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: the paper's full stack on a 7-node cluster with 2 Byzantine
+//! nodes, watching the clocks lock step by step.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use byzclock::alg::{all_synced, DigitalClock};
+use byzclock::coin::ticket_clock_sync;
+use byzclock::sim::{SilentAdversary, SimBuilder};
+
+fn main() {
+    let (n, f, k) = (7, 2, 64);
+    println!("ss-Byz-Clock-Sync over the GVSS ticket coin: n={n}, f={f}, k={k}");
+    println!("(nodes n5, n6 are Byzantine and stay silent)\n");
+
+    let mut sim = SimBuilder::new(n, f).seed(2026).build(
+        |cfg, rng| {
+            // Self-stabilization: every node starts from scrambled memory.
+            let mut node = ticket_clock_sync(cfg, k, rng);
+            byzclock::sim::Application::corrupt(&mut node, rng);
+            node
+        },
+        SilentAdversary,
+    );
+
+    println!("beat | clocks (n0..n4)                  | synced?");
+    println!("-----|----------------------------------|--------");
+    let mut synced_streak = 0;
+    for _ in 0..40 {
+        sim.step();
+        let clocks: Vec<u64> = sim.correct_apps().map(|(_, a)| a.full_clock()).collect();
+        let synced = all_synced(sim.correct_apps().map(|(_, a)| a.read()));
+        synced_streak = if synced.is_some() { synced_streak + 1 } else { 0 };
+        println!(
+            "{:>4} | {:<32} | {}",
+            sim.beat(),
+            clocks.iter().map(u64::to_string).collect::<Vec<_>>().join(" "),
+            synced.map_or("no".to_string(), |v| format!("yes ({v})")),
+        );
+        if synced_streak >= 12 {
+            break;
+        }
+    }
+    println!(
+        "\nClock-synched and incrementing (Definition 3.2). Traffic: {:.0} msgs/beat, {:.0} bytes/beat.",
+        sim.stats().mean_correct_msgs_per_beat(),
+        sim.stats().mean_correct_bytes_per_beat()
+    );
+}

@@ -1,0 +1,54 @@
+//! Self-stabilization demo: a converged cluster survives an arbitrary
+//! memory-scrambling transient fault plus a burst of phantom messages.
+//!
+//! ```text
+//! cargo run --release --example transient_recovery
+//! ```
+
+use byzclock::alg::{all_synced, DigitalClock};
+use byzclock::coin::ticket_clock_sync;
+use byzclock::sim::{FaultEvent, FaultKind, FaultPlan, SilentAdversary, SimBuilder};
+
+fn main() {
+    let (n, f, k) = (7, 2, 32);
+    let fault_beat = 25;
+    println!("Transient-fault recovery: n={n}, f={f}, k={k}");
+    println!("At the end of beat {fault_beat}: every correct node's memory is scrambled");
+    println!("and 80 stale messages are replayed from the network's buffers.\n");
+
+    let plan = FaultPlan::new(vec![
+        FaultEvent { beat: fault_beat, kind: FaultKind::CorruptAllCorrect },
+        FaultEvent { beat: fault_beat, kind: FaultKind::PhantomBurst { count: 80 } },
+    ]);
+    let mut sim = SimBuilder::new(n, f).seed(7).faults(plan).build(
+        |cfg, rng| ticket_clock_sync(cfg, k, rng),
+        SilentAdversary,
+    );
+
+    let mut resynced_at = None;
+    for _ in 0..80 {
+        sim.step();
+        let synced = all_synced(sim.correct_apps().map(|(_, a)| a.read()));
+        let marker = match (sim.beat() as i64 - fault_beat as i64, synced) {
+            (1, _) => "  <-- FAULT fired at the end of the previous beat",
+            (_, Some(_)) => "",
+            (_, None) => "  (desynced)",
+        };
+        if sim.beat() > fault_beat + 1 && synced.is_some() && resynced_at.is_none() {
+            resynced_at = Some(sim.beat());
+        }
+        let clocks: Vec<String> =
+            sim.correct_apps().map(|(_, a)| a.full_clock().to_string()).collect();
+        println!("beat {:>3}: [{}]{}", sim.beat(), clocks.join(" "), marker);
+        if resynced_at.is_some_and(|r| sim.beat() >= r + 10) {
+            break;
+        }
+    }
+    match resynced_at {
+        Some(r) => println!(
+            "\nRe-synchronized {} beats after the fault — expected-constant recovery,\nindependent of how the memory was scrambled.",
+            r - fault_beat
+        ),
+        None => println!("\nDid not resync within the horizon (unexpected — try another seed)."),
+    }
+}

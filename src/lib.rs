@@ -1,0 +1,45 @@
+//! `byzclock` — umbrella crate for the PODC'08 *Fast Self-Stabilizing
+//! Byzantine Tolerant Digital Clock Synchronization* reproduction.
+//!
+//! This crate re-exports the whole workspace under one roof and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). See the individual crates for the actual machinery:
+//!
+//! - [`sim`] — the deterministic global-beat-system simulator (model §2),
+//! - [`field`] — prime-field / coding-theory substrate for the coin,
+//! - [`coin`] — graded-VSS common coin (Def. 2.6, Obs. 2.1),
+//! - [`alg`] — the paper's algorithms (Figures 1–4),
+//! - [`baselines`] — Table 1 comparators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use byzclock::alg::run_until_stable_sync;
+//! use byzclock::coin::ticket_clock_sync;
+//! use byzclock::sim::{SilentAdversary, SimBuilder};
+//!
+//! let k = 16; // clock modulus
+//! let mut sim = SimBuilder::new(4, 1).seed(1).build(
+//!     |cfg, rng| ticket_clock_sync(cfg, k, rng),
+//!     SilentAdversary,
+//! );
+//! let converged = run_until_stable_sync(&mut sim, 2_000, 8);
+//! assert!(converged.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// The paper's algorithms (crate `byzclock-core`).
+pub use byzclock_core as alg;
+
+/// Common-coin protocols (crate `byzclock-coin`).
+pub use byzclock_coin as coin;
+
+/// Prime-field substrate (crate `byzclock-field`).
+pub use byzclock_field as field;
+
+/// The global-beat-system simulator (crate `byzclock-sim`).
+pub use byzclock_sim as sim;
+
+/// Table 1 comparators (crate `byzclock-baselines`).
+pub use byzclock_baselines as baselines;

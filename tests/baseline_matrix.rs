@@ -1,0 +1,120 @@
+//! The baseline algorithms across configurations — the cells of Table 1
+//! that are cheap enough to assert in CI.
+
+use byzclock::alg::{all_synced, run_until_stable_sync, DigitalClock};
+use byzclock::baselines::{
+    BaEquivocator, DwClock, PhaseKingScheme, PkClock, QueenClock, QueenScheme,
+};
+use byzclock::sim::{Application, SilentAdversary, SimBuilder};
+
+/// Phase-king clock at its maximal legal f for several n, silent faults.
+#[test]
+fn pk_clock_across_cluster_sizes() {
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let mut sim = SimBuilder::new(n, f).seed(n as u64).build(
+            |cfg, rng| {
+                let mut c = PkClock::new(PhaseKingScheme::new(cfg), 32);
+                c.corrupt(rng);
+                c
+            },
+            SilentAdversary,
+        );
+        let r = 2 + 3 * (f + 1);
+        let t = run_until_stable_sync(&mut sim, 3_000, 8)
+            .unwrap_or_else(|| panic!("n={n}, f={f}: no convergence"));
+        assert!(
+            t <= (10 * r) as u64,
+            "n={n}, f={f}: {t} beats is not O(f)-like (R = {r})"
+        );
+    }
+}
+
+/// Convergence time grows with f (the O(f) row's slope), comparing maximal
+/// legal f at n=4 vs n=13.
+#[test]
+fn pk_clock_convergence_grows_with_f() {
+    let measure = |n: usize, f: usize| -> u64 {
+        let mut total = 0;
+        for seed in 0..5u64 {
+            let mut sim = SimBuilder::new(n, f).seed(seed).build(
+                |cfg, rng| {
+                    let mut c = PkClock::new(PhaseKingScheme::new(cfg), 32);
+                    c.corrupt(rng);
+                    c
+                },
+                SilentAdversary,
+            );
+            total += run_until_stable_sync(&mut sim, 3_000, 8).expect("converges");
+        }
+        total
+    };
+    let small = measure(4, 1);
+    let large = measure(13, 4);
+    assert!(large > small, "O(f) slope missing: f=1 {small} vs f=4 {large}");
+}
+
+/// Queen clock under its designed conditions, with an actively
+/// equivocating Byzantine queen.
+#[test]
+fn queen_clock_tolerates_byzantine_queen_within_budget() {
+    for seed in 0..3u64 {
+        let mut sim = SimBuilder::new(5, 1)
+            .seed(seed)
+            .byzantine([0u16])
+            .build(
+                |cfg, rng| {
+                    let mut c = QueenClock::new(QueenScheme::new(cfg), 16);
+                    c.corrupt(rng);
+                    c
+                },
+                BaEquivocator { depth: 4, mixed_bits: false },
+            );
+        assert!(
+            run_until_stable_sync(&mut sim, 2_000, 8).is_some(),
+            "seed {seed}: queen clock failed within its resiliency"
+        );
+    }
+}
+
+/// Dolev–Welch's k-dependence: k=2 converges orders of magnitude faster
+/// than k=8 at the same cluster (the F4 trend, asserted cheaply).
+#[test]
+fn dw_clock_slows_with_k() {
+    let measure = |k: u64| -> u64 {
+        let mut total = 0;
+        for seed in 0..5u64 {
+            let mut sim = SimBuilder::new(4, 1).seed(seed).build(
+                |cfg, rng| {
+                    let mut c = DwClock::new(cfg, k);
+                    c.corrupt(rng);
+                    c
+                },
+                SilentAdversary,
+            );
+            total += run_until_stable_sync(&mut sim, 200_000, 8).expect("converges");
+        }
+        total
+    };
+    let fast = measure(2);
+    let slow = measure(8);
+    assert!(slow > fast, "k-dependence missing: k=2 {fast} vs k=8 {slow}");
+}
+
+/// All clocks share the observer interface: moduli and readings line up.
+#[test]
+fn digital_clock_interface_consistency() {
+    let mut sim = SimBuilder::new(4, 1).seed(1).build(
+        |cfg, _rng| PkClock::new(PhaseKingScheme::new(cfg), 12),
+        SilentAdversary,
+    );
+    run_until_stable_sync(&mut sim, 2_000, 8).unwrap();
+    for (_, app) in sim.correct_apps() {
+        assert_eq!(app.modulus(), 12);
+        assert!(app.read().unwrap() < 12);
+        // The internal modulus is a multiple of k and covers the window.
+        assert_eq!(app.internal_modulus() % 12, 0);
+        assert!(app.internal_modulus() >= 4 * app.rounds() as u64);
+    }
+    let v = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
+    assert!(v < 12);
+}

@@ -1,0 +1,96 @@
+//! Resiliency matrix: every algorithm at its designed fault budget, plus
+//! the boundary behavior that motivates f < n/3 (Table 1's resiliency
+//! column).
+
+use byzclock::alg::adversary::SplitVoteAdversary;
+use byzclock::alg::{run_until_stable_sync, ClockSync, OracleBeacon};
+use byzclock::coin::ticket_clock_sync;
+use byzclock::sim::{Application, SilentAdversary, SimBuilder};
+
+/// The full stack converges at the maximal legal f for several n.
+#[test]
+fn converges_at_maximal_legal_f() {
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let mut sim = SimBuilder::new(n, f).seed(n as u64).build(
+            |cfg, rng| {
+                let mut c = ticket_clock_sync(cfg, 16, rng);
+                c.corrupt(rng);
+                c
+            },
+            SilentAdversary,
+        );
+        assert!(
+            run_until_stable_sync(&mut sim, 3_000, 8).is_some(),
+            "n={n}, f={f}: failed at the legal boundary"
+        );
+    }
+}
+
+/// Fewer actual faults than the budget is strictly easier.
+#[test]
+fn converges_with_fewer_actual_faults() {
+    let mut sim = SimBuilder::new(7, 2)
+        .seed(5)
+        .byzantine([6u16]) // budget 2, only one actual
+        .build(
+            |cfg, rng| {
+                let mut c = ticket_clock_sync(cfg, 16, rng);
+                c.corrupt(rng);
+                c
+            },
+            SilentAdversary,
+        );
+    assert!(run_until_stable_sync(&mut sim, 3_000, 8).is_some());
+}
+
+/// No Byzantine nodes at all: the fastest case.
+#[test]
+fn converges_all_correct() {
+    let mut sim = SimBuilder::new(4, 1).all_correct().seed(9).build(
+        |cfg, rng| {
+            let mut c = ticket_clock_sync(cfg, 16, rng);
+            c.corrupt(rng);
+            c
+        },
+        SilentAdversary,
+    );
+    assert!(run_until_stable_sync(&mut sim, 2_000, 8).is_some());
+}
+
+/// The boundary: at f = n/3 the splitter keeps the oracle-coin stack from
+/// converging in most runs, while the same horizon is ample at f < n/3.
+/// Statistical contrast with generous margins (seeded, deterministic).
+#[test]
+fn boundary_f_equals_n_thirds_degrades() {
+    let success_rate = |n: usize, f: usize| -> usize {
+        (0..8u64)
+            .filter(|&seed| {
+                let b1 = OracleBeacon::perfect(seed + 1);
+                let b2 = OracleBeacon::perfect(seed + 2);
+                let b3 = OracleBeacon::perfect(seed + 3);
+                let mut sim = SimBuilder::new(n, f).seed(seed).build(
+                    move |cfg, rng| {
+                        let mut c = ClockSync::new(
+                            cfg,
+                            8,
+                            b1.source(cfg.id),
+                            b2.source(cfg.id),
+                            b3.source(cfg.id),
+                        );
+                        c.corrupt(rng);
+                        c
+                    },
+                    SplitVoteAdversary,
+                );
+                run_until_stable_sync(&mut sim, 1_500, 8).is_some()
+            })
+            .count()
+    };
+    let legal = success_rate(7, 2);
+    let boundary = success_rate(6, 2);
+    assert!(legal >= 7, "legal configuration should almost always converge: {legal}/8");
+    assert!(
+        boundary <= legal.saturating_sub(4),
+        "f = n/3 should be clearly degraded: legal {legal}/8 vs boundary {boundary}/8"
+    );
+}

@@ -1,0 +1,112 @@
+//! Wire-encoding properties across every protocol message type: the
+//! declared `encoded_len` always equals the actual encoding length (the
+//! message-complexity experiment M1 depends on it).
+
+use byzclock::alg::{
+    ClockSyncMsg, FourClockMsg, LevelMsg, SharedFourClockMsg, SlotMsg, Trit, TwoClockMsg,
+};
+use byzclock::coin::CoinMsg;
+use byzclock::sim::Wire;
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+fn actual_len<T: Wire>(v: &T) -> usize {
+    let mut buf = BytesMut::new();
+    v.encode(&mut buf);
+    buf.len()
+}
+
+fn trit_strategy() -> impl Strategy<Value = Trit> {
+    prop_oneof![Just(Trit::Zero), Just(Trit::One), Just(Trit::Bot)]
+}
+
+fn coin_msg_strategy() -> impl Strategy<Value = CoinMsg> {
+    let rows = proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..4), 0..4)
+        .prop_map(|rows| CoinMsg::Row { rows });
+    let echo = proptest::collection::vec(
+        proptest::option::of(proptest::collection::vec(any::<u64>(), 0..4)),
+        0..5,
+    )
+    .prop_map(|points| CoinMsg::Echo { points });
+    let vote = proptest::collection::vec(any::<bool>(), 0..8)
+        .prop_map(|content| CoinMsg::Vote { content });
+    let recover = proptest::collection::vec(
+        proptest::option::of(proptest::collection::vec(any::<u64>(), 0..4)),
+        0..5,
+    )
+    .prop_map(|shares| CoinMsg::Recover { shares });
+    prop_oneof![rows, echo, vote, recover]
+}
+
+proptest! {
+    #[test]
+    fn coin_msg_len(msg in coin_msg_strategy()) {
+        prop_assert_eq!(msg.encoded_len(), actual_len(&msg));
+    }
+
+    #[test]
+    fn slot_msg_len(slot in any::<u8>(), msg in coin_msg_strategy()) {
+        let m = SlotMsg { slot, msg };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn two_clock_msg_len(t in trit_strategy(), coin in any::<u64>(), pick in any::<bool>()) {
+        let m: TwoClockMsg<u64> =
+            if pick { TwoClockMsg::Clock(t) } else { TwoClockMsg::Coin(coin) };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn four_clock_msg_len(t in trit_strategy(), a1 in any::<bool>()) {
+        let inner = TwoClockMsg::<u64>::Clock(t);
+        let m = if a1 { FourClockMsg::A1(inner) } else { FourClockMsg::A2(inner) };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn shared_four_clock_msg_len(t in trit_strategy(), which in 0u8..3, coin in any::<u64>()) {
+        let m: SharedFourClockMsg<u64> = match which {
+            0 => SharedFourClockMsg::A1Vote(t),
+            1 => SharedFourClockMsg::A2Vote(t),
+            _ => SharedFourClockMsg::Coin(coin),
+        };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn clock_sync_msg_len(which in 0u8..5, v in any::<u64>(), p in proptest::option::of(any::<u64>()), b in any::<bool>(), t in trit_strategy()) {
+        let m: ClockSyncMsg<u64> = match which {
+            0 => ClockSyncMsg::Four(FourClockMsg::A1(TwoClockMsg::Clock(t))),
+            1 => ClockSyncMsg::Full(v),
+            2 => ClockSyncMsg::Propose(p),
+            3 => ClockSyncMsg::BitVote(b),
+            _ => ClockSyncMsg::Coin(v),
+        };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn level_msg_len(level in any::<u8>(), t in trit_strategy()) {
+        let m = LevelMsg { level, msg: TwoClockMsg::<u64>::Clock(t) };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn ba_msg_len(which in 0u8..4, v in any::<u64>(), p in proptest::option::of(any::<u64>()), b in any::<bool>(), bp in proptest::option::of(any::<bool>())) {
+        use byzclock::baselines::BaMsg;
+        let m = match which {
+            0 => BaMsg::Val(v),
+            1 => BaMsg::Perm(p),
+            2 => BaMsg::Bit(b),
+            _ => BaMsg::BitProp(bp),
+        };
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn dw_msg_len(v in any::<u64>()) {
+        let m = byzclock::baselines::DwMsg(v);
+        prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+}
