@@ -58,17 +58,17 @@ mod tests {
     /// with the Byzantine node owning the first king phase.
     #[test]
     fn pk_clock_survives_equivocating_king() {
-        let mut sim = SimBuilder::new(7, 2)
-            .seed(5)
-            .byzantine([0u16, 1])
-            .build(
-                |cfg, rng| {
-                    let mut c = PkClock::new(PhaseKingScheme::new(cfg), 32);
-                    c.corrupt(rng);
-                    c
-                },
-                BaEquivocator { depth: 11, mixed_bits: true },
-            );
+        let mut sim = SimBuilder::new(7, 2).seed(5).byzantine([0u16, 1]).build(
+            |cfg, rng| {
+                let mut c = PkClock::new(PhaseKingScheme::new(cfg), 32);
+                c.corrupt(rng);
+                c
+            },
+            BaEquivocator {
+                depth: 11,
+                mixed_bits: true,
+            },
+        );
         assert!(
             run_until_stable_sync(&mut sim, 2_000, 8).is_some(),
             "phase-king clock must survive equivocating kings at f < n/3"

@@ -17,9 +17,9 @@
 //! **agreement** (all correct outputs equal) and **validity** (unanimous
 //! correct inputs are decided).
 
+use bytes::BytesMut;
 use byzclock_core::RoundProtocol;
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target, Wire};
-use bytes::BytesMut;
 use rand::Rng;
 
 /// Messages of the consensus instances.
@@ -88,7 +88,9 @@ fn plurality(values: impl Iterator<Item = u64>) -> Option<(u64, usize)> {
             None => counts.push((v, 1)),
         }
     }
-    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
 }
 
 /// Rounds used by [`PhaseKingConsensus`] for fault budget `f`.
@@ -149,7 +151,9 @@ impl RoundProtocol for PhaseKingConsensus {
             0 => out.push((Target::All, BaMsg::Val(self.input))),
             1 => out.push((Target::All, BaMsg::Perm(self.perm))),
             _ => {
-                let Some((phase, sub)) = Self::phase_round(round) else { return };
+                let Some((phase, sub)) = Self::phase_round(round) else {
+                    return;
+                };
                 if phase > self.cfg.f {
                     return;
                 }
@@ -200,7 +204,9 @@ impl RoundProtocol for PhaseKingConsensus {
                 self.pref = best.is_some_and(|(_, c)| c >= quorum);
             }
             _ => {
-                let Some((phase, sub)) = Self::phase_round(round) else { return };
+                let Some((phase, sub)) = Self::phase_round(round) else {
+                    return;
+                };
                 if phase > f {
                     return;
                 }
@@ -237,10 +243,14 @@ impl RoundProtocol for PhaseKingConsensus {
                         );
                         let ones = props.iter().filter(|&&(_, p)| p == Some(true)).count();
                         let zeros = props.iter().filter(|&&(_, p)| p == Some(false)).count();
-                        let (v, c) = if ones >= zeros { (true, ones) } else { (false, zeros) };
+                        let (v, c) = if ones >= zeros {
+                            (true, ones)
+                        } else {
+                            (false, zeros)
+                        };
                         self.strength = if c >= quorum {
                             2
-                        } else if c >= f + 1 {
+                        } else if c > f {
                             1
                         } else {
                             0
@@ -302,7 +312,11 @@ pub struct QueenConsensus {
 impl QueenConsensus {
     /// A fresh instance with this node's `input`.
     pub fn new(cfg: NodeCfg, input: u64) -> Self {
-        QueenConsensus { cfg, pref: input, support: 0 }
+        QueenConsensus {
+            cfg,
+            pref: input,
+            support: 0,
+        }
     }
 
     fn queen_of_phase(p: usize) -> NodeId {
@@ -319,9 +333,8 @@ impl RoundProtocol for QueenConsensus {
         if phase > self.cfg.f {
             return;
         }
-        if round % 2 == 0 {
-            out.push((Target::All, BaMsg::Val(self.pref)));
-        } else if Self::queen_of_phase(phase) == self.cfg.id {
+        // Even rounds: everyone reports; odd rounds: only the phase queen.
+        if round.is_multiple_of(2) || Self::queen_of_phase(phase) == self.cfg.id {
             out.push((Target::All, BaMsg::Val(self.pref)));
         }
     }
@@ -340,7 +353,7 @@ impl RoundProtocol for QueenConsensus {
                 })
                 .collect::<Vec<_>>(),
         );
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             if let Some((v, c)) = plurality(vals.iter().map(|&(_, v)| v)) {
                 self.pref = v;
                 self.support = c;
@@ -376,7 +389,14 @@ mod tests {
     /// Runs one instance across n nodes; `byz` behave per `byz_msg`, which
     /// returns the (possibly per-recipient) message for a round, or `None`
     /// for silence.
-    fn run<P, F, B>(n: usize, f: usize, rounds: usize, make: F, byz: &[u16], mut byz_msg: B) -> Vec<u64>
+    fn run<P, F, B>(
+        n: usize,
+        f: usize,
+        rounds: usize,
+        make: F,
+        byz: &[u16],
+        mut byz_msg: B,
+    ) -> Vec<u64>
     where
         P: RoundProtocol<Msg = BaMsg, Output = u64>,
         F: Fn(NodeCfg) -> P,
@@ -384,9 +404,7 @@ mod tests {
     {
         let mut rng = SimRng::seed_from_u64(1);
         let mut protos: Vec<Option<P>> = (0..n as u16)
-            .map(|i| {
-                (!byz.contains(&i)).then(|| make(NodeCfg::new(NodeId::new(i), n, f)))
-            })
+            .map(|i| (!byz.contains(&i)).then(|| make(NodeCfg::new(NodeId::new(i), n, f))))
             .collect();
         for round in 0..rounds {
             let mut inboxes: Vec<Vec<(NodeId, BaMsg)>> = vec![Vec::new(); n];
@@ -438,7 +456,10 @@ mod tests {
                 &[5, 6],
                 |_, _, _| None,
             );
-            assert!(outs.iter().all(|&o| o == input), "validity broken for {input}");
+            assert!(
+                outs.iter().all(|&o| o == input),
+                "validity broken for {input}"
+            );
         }
     }
 
@@ -458,16 +479,19 @@ mod tests {
                     1 => BaMsg::Perm(((b + to) % 2 == 0).then_some(u64::from(to % 3))),
                     r => {
                         if (r - 2) % 3 == 1 {
-                            BaMsg::BitProp(Some((b + to + r as u16) % 2 == 0))
+                            BaMsg::BitProp(Some((b + to + r as u16).is_multiple_of(2)))
                         } else {
-                            BaMsg::Bit((b + to + r as u16) % 2 == 0)
+                            BaMsg::Bit((b + to + r as u16).is_multiple_of(2))
                         }
                     }
                 })
             },
         );
         let first = outs[0];
-        assert!(outs.iter().all(|&o| o == first), "agreement broken: {outs:?}");
+        assert!(
+            outs.iter().all(|&o| o == first),
+            "agreement broken: {outs:?}"
+        );
     }
 
     #[test]
@@ -496,7 +520,10 @@ mod tests {
             },
         );
         let first = outs[0];
-        assert!(outs.iter().all(|&o| o == first), "agreement broken: {outs:?}");
+        assert!(
+            outs.iter().all(|&o| o == first),
+            "agreement broken: {outs:?}"
+        );
     }
 
     #[test]
@@ -510,7 +537,10 @@ mod tests {
             &[4],
             |_, _, to| Some(BaMsg::Val(u64::from(to))),
         );
-        assert!(outs.iter().all(|&o| o == 9), "queen validity broken: {outs:?}");
+        assert!(
+            outs.iter().all(|&o| o == 9),
+            "queen validity broken: {outs:?}"
+        );
         // Agreement with mixed inputs.
         let outs = run(
             5,
@@ -521,7 +551,10 @@ mod tests {
             |_, b, to| Some(BaMsg::Val(u64::from(b + to))),
         );
         let first = outs[0];
-        assert!(outs.iter().all(|&o| o == first), "queen agreement broken: {outs:?}");
+        assert!(
+            outs.iter().all(|&o| o == first),
+            "queen agreement broken: {outs:?}"
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! coherently, so convergence is expected-exponential in `g` — the row the
 //! current paper's O(1) result is measured against.
 
+use bytes::BytesMut;
 use byzclock_core::DigitalClock;
 use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Wire};
-use bytes::BytesMut;
 use rand::Rng;
 
 /// Message of [`DwClock`]: the sender's clock value.
@@ -106,7 +106,6 @@ mod tests {
     use byzclock_core::{all_synced, run_until_stable_sync};
     use byzclock_sim::{SilentAdversary, SimBuilder};
 
-
     /// Self-stabilization setup: every node starts from scrambled state.
     fn arbitrary_start(cfg: NodeCfg, rng: &mut SimRng, k: u64) -> DwClock {
         let mut c = DwClock::new(cfg, k);
@@ -117,10 +116,9 @@ mod tests {
     #[test]
     fn converges_eventually_for_small_clusters() {
         // g = 3 correct nodes, k = 2: expected ~2^(g-1) random tries.
-        let mut sim = SimBuilder::new(4, 1).seed(3).build(
-            |cfg, rng| arbitrary_start(cfg, rng, 2),
-            SilentAdversary,
-        );
+        let mut sim = SimBuilder::new(4, 1)
+            .seed(3)
+            .build(|cfg, rng| arbitrary_start(cfg, rng, 2), SilentAdversary);
         let t = run_until_stable_sync(&mut sim, 10_000, 8);
         assert!(t.is_some(), "DW clock should converge for tiny clusters");
     }
@@ -137,8 +135,8 @@ mod tests {
         );
         for i in 1..=16u64 {
             sim.step();
-            let v = all_synced(sim.correct_apps().map(|(_, a)| a.read()))
-                .expect("closure violated");
+            let v =
+                all_synced(sim.correct_apps().map(|(_, a)| a.read())).expect("closure violated");
             assert_eq!(v, (3 + i) % 8);
         }
     }
@@ -149,10 +147,9 @@ mod tests {
         let measure = |n: usize, f: usize, seeds: u64| {
             let mut total = 0u64;
             for seed in 0..seeds {
-                let mut sim = SimBuilder::new(n, f).seed(seed).build(
-                    |cfg, rng| arbitrary_start(cfg, rng, 2),
-                    SilentAdversary,
-                );
+                let mut sim = SimBuilder::new(n, f)
+                    .seed(seed)
+                    .build(|cfg, rng| arbitrary_start(cfg, rng, 2), SilentAdversary);
                 total += run_until_stable_sync(&mut sim, 100_000, 8).unwrap();
             }
             total as f64 / seeds as f64

@@ -37,14 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod scenario;
+
 mod consensus;
 mod dw_clock;
 mod pk_clock;
 
 pub use adversary::BaEquivocator;
-pub use consensus::{
-    phase_king_rounds, queen_rounds, BaMsg, PhaseKingConsensus, QueenConsensus,
-};
+pub use consensus::{phase_king_rounds, queen_rounds, BaMsg, PhaseKingConsensus, QueenConsensus};
 pub use dw_clock::{DwClock, DwMsg};
 pub use pk_clock::{
     ConsensusClock, ConsensusScheme, PhaseKingScheme, PkClock, QueenClock, QueenScheme,

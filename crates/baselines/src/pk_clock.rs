@@ -271,8 +271,11 @@ impl<S: ConsensusScheme> Application for ConsensusClock<S> {
             recent.push_front(out);
             recent.truncate(scheme.rounds());
             // Age-corrected estimates of "the clock now" per chain.
-            let reps: Vec<u64> =
-                recent.iter().enumerate().map(|(age, &o)| (o + age as u64) % k).collect();
+            let reps: Vec<u64> = recent
+                .iter()
+                .enumerate()
+                .map(|(age, &o)| (o + age as u64) % k)
+                .collect();
             let winner = anchor_winner(&reps, k);
             scheme.spawn((winner + scheme.rounds() as u64) % k)
         });
@@ -320,19 +323,18 @@ mod tests {
 
     #[test]
     fn pk_clock_converges_and_ticks() {
-        let mut sim = SimBuilder::new(7, 2).seed(3).build(
-            |cfg, rng| corrupted_pk(cfg, rng, 64),
-            SilentAdversary,
-        );
-        let t = run_until_stable_sync(&mut sim, 500, 16)
-            .expect("deterministic clock must converge");
+        let mut sim = SimBuilder::new(7, 2)
+            .seed(3)
+            .build(|cfg, rng| corrupted_pk(cfg, rng, 64), SilentAdversary);
+        let t =
+            run_until_stable_sync(&mut sim, 500, 16).expect("deterministic clock must converge");
         // O(R) convergence: R = 11 for f = 2; allow a few windows.
         assert!(t <= 8 * 11, "convergence {t} beats is not O(f)-like");
         let v0 = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
         for i in 1..=32 {
             sim.step();
-            let v = all_synced(sim.correct_apps().map(|(_, a)| a.read()))
-                .expect("closure violated");
+            let v =
+                all_synced(sim.correct_apps().map(|(_, a)| a.read())).expect("closure violated");
             assert_eq!(v, (v0 + i) % 64);
         }
     }
@@ -386,10 +388,9 @@ mod tests {
         // Identical seeds (same scrambled starts) reproduce the exact
         // convergence beat.
         let converge = |seed: u64| {
-            let mut sim = SimBuilder::new(4, 1).seed(seed).build(
-                |cfg, rng| corrupted_pk(cfg, rng, 32),
-                SilentAdversary,
-            );
+            let mut sim = SimBuilder::new(4, 1)
+                .seed(seed)
+                .build(|cfg, rng| corrupted_pk(cfg, rng, 32), SilentAdversary);
             run_until_stable_sync(&mut sim, 500, 16).unwrap()
         };
         assert_eq!(converge(1), converge(1));
@@ -414,7 +415,7 @@ mod tests {
         let t = run_until_stable_sync(&mut sim, 400, 16)
             .expect("must re-converge after transient corruption");
         assert!(
-            t >= 60 && t <= 61 + 8 * 11,
+            (60..=61 + 8 * 11).contains(&t),
             "re-convergence at beat {t} is not O(f) after the fault"
         );
     }

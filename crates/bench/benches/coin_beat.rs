@@ -6,9 +6,10 @@ use byzclock_sim::{SilentAdversary, SimBuilder, Simulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn coin_sim(n: usize, f: usize) -> Simulation<CoinApp<TicketCoinScheme>, SilentAdversary> {
-    let mut sim = SimBuilder::new(n, f)
-        .seed(1)
-        .build(|cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng), SilentAdversary);
+    let mut sim = SimBuilder::new(n, f).seed(1).build(
+        |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
+        SilentAdversary,
+    );
     sim.run_beats(8); // warm pipeline
     sim
 }

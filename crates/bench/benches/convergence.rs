@@ -1,66 +1,52 @@
 //! Wall-clock time of full convergence runs (Monte-Carlo inner loop of
-//! experiment T1), per algorithm.
+//! experiment T1), per algorithm — driven through the scenario API so the
+//! benchmarked path is exactly the path the experiments binary takes.
 
-use byzclock_baselines::{DwClock, PhaseKingScheme, PkClock};
-use byzclock_coin::ticket_clock_sync;
-use byzclock_core::run_until_stable_sync;
-use byzclock_sim::{Application, SilentAdversary, SimBuilder};
+use byzclock::scenario::{default_registry, ProtocolRegistry, ScenarioSpec};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_convergence(c: &mut Criterion) {
+fn bench_spec(c: &mut Criterion, registry: &ProtocolRegistry, name: &str, spec_line: &str) {
+    let spec = ScenarioSpec::parse(spec_line).expect("valid spec line");
+    // Resolve once up front so a bad spec fails loudly, not mid-measurement.
+    registry.start(&spec).expect("spec resolves");
     let mut group = c.benchmark_group("convergence_run");
     group.sample_size(10);
-
     let mut seed = 0u64;
-    group.bench_function("clock_sync_ticket_n7_k64", |b| {
+    group.bench_function(name, |b| {
         b.iter(|| {
             seed += 1;
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                |cfg, rng| {
-                    let mut a = ticket_clock_sync(cfg, 64, rng);
-                    a.corrupt(rng);
-                    a
-                },
-                SilentAdversary,
-            );
-            black_box(run_until_stable_sync(&mut sim, 5_000, 8))
+            black_box(
+                registry
+                    .run(&spec.clone().with_seed(seed))
+                    .expect("spec resolves")
+                    .beats_to_sync(),
+            )
         })
     });
-
-    let mut seed = 0u64;
-    group.bench_function("pk_clock_n7_k64", |b| {
-        b.iter(|| {
-            seed += 1;
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                |cfg, rng| {
-                    let mut a = PkClock::new(PhaseKingScheme::new(cfg), 64);
-                    a.corrupt(rng);
-                    a
-                },
-                SilentAdversary,
-            );
-            black_box(run_until_stable_sync(&mut sim, 5_000, 8))
-        })
-    });
-
-    let mut seed = 0u64;
-    group.bench_function("dw_clock_n4_k2", |b| {
-        b.iter(|| {
-            seed += 1;
-            let mut sim = SimBuilder::new(4, 1).seed(seed).build(
-                |cfg, rng| {
-                    let mut a = DwClock::new(cfg, 2);
-                    a.corrupt(rng);
-                    a
-                },
-                SilentAdversary,
-            );
-            black_box(run_until_stable_sync(&mut sim, 100_000, 8))
-        })
-    });
-
     group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let registry = default_registry();
+    bench_spec(
+        c,
+        &registry,
+        "clock_sync_ticket_n7_k64",
+        "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start budget=5000",
+    );
+    bench_spec(
+        c,
+        &registry,
+        "pk_clock_n7_k64",
+        "pk-clock n=7 f=2 k=64 coin=none adv=silent faults=corrupt-start budget=5000",
+    );
+    bench_spec(
+        c,
+        &registry,
+        "dw_clock_n4_k2",
+        "dw-clock n=4 f=1 k=2 coin=local adv=silent faults=corrupt-start budget=100000",
+    );
 }
 
 criterion_group!(benches, bench_convergence);

@@ -2,7 +2,7 @@
 //! how much experiment horizon a laptop buys.
 
 use byzclock_coin::ticket_clock_sync;
-use byzclock_core::{run_until_stable_sync, OracleBeacon, ClockSync};
+use byzclock_core::{run_until_stable_sync, ClockSync, OracleBeacon};
 use byzclock_sim::{SilentAdversary, SimBuilder};
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -23,7 +23,13 @@ fn bench_throughput(c: &mut Criterion) {
     let b3 = OracleBeacon::perfect(3);
     let mut sim = SimBuilder::new(7, 2).seed(4).build(
         move |cfg, _rng| {
-            ClockSync::new(cfg, 64, b1.source(cfg.id), b2.source(cfg.id), b3.source(cfg.id))
+            ClockSync::new(
+                cfg,
+                64,
+                b1.source(cfg.id),
+                b2.source(cfg.id),
+                b3.source(cfg.id),
+            )
         },
         SilentAdversary,
     );

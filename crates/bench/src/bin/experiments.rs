@@ -3,36 +3,32 @@
 //!
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|all]
+//! cargo run --release -p byzclock-bench --bin experiments -- spec "<scenario line>"
 //! ```
 //!
-//! Knobs: `BYZCLOCK_TRIALS` (trial count scale), `BYZCLOCK_THREADS`.
+//! Every run is constructed through the scenario API — a
+//! [`ScenarioSpec`] resolved by the default [`ProtocolRegistry`] — so each
+//! table cell is a replayable one-line spec (pass one back with `spec` to
+//! rerun a single point). Knobs: `BYZCLOCK_TRIALS` (trial count scale),
+//! `BYZCLOCK_THREADS`.
 
-use byzclock_baselines::{DwClock, PhaseKingScheme, PkClock, QueenClock, QueenScheme};
+use byzclock::scenario::{
+    default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, ProtocolRegistry, RunReport,
+    ScenarioSpec,
+};
 use byzclock_bench::{default_threads, md_table, parallel_trials, trials, Summary};
-use byzclock_coin::{
-    adversary::{CoinNoiseAdversary, InconsistentDealer, RecoverEquivocator},
-    measure_coin, ticket_clock_sync, ticket_four_clock, CoinStats, TicketCoinScheme,
-    XorCoinScheme,
-};
-use byzclock_core::adversary::{RandAwareSplitter, SplitVoteAdversary};
-use byzclock_core::{
-    run_until_stable_sync, BrokenTwoClock, ClockSync, DigitalClock, OracleBeacon,
-    RecursiveClock, SharedFourClock, TwoClock,
-};
-use byzclock_sim::{
-    Adversary, Application, FaultEvent, FaultKind, FaultPlan, SilentAdversary, SimBuilder,
-};
-
-/// Stability window used to declare convergence (Definition 3.2 streak).
-const WINDOW: u64 = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
+    if which == "spec" {
+        run_single_spec(args.get(1).map(String::as_str));
+        return;
+    }
     let run_all = which == "all";
     println!("# byzclock experiments — PODC'08 reproduction\n");
     println!(
-        "(trials scale: BYZCLOCK_TRIALS={}, threads: {})\n",
+        "(trials scale: BYZCLOCK_TRIALS={}, threads: {}; every cell is a scenario spec)\n",
         trials(1),
         default_threads()
     );
@@ -68,31 +64,45 @@ fn main() {
     }
 }
 
-/// Convergence samples for a clock application built by `make`, from
-/// corrupted starts, under the adversary built by `adv`.
-fn converge_samples<A, Adv>(
-    n: usize,
-    f: usize,
-    horizon: u64,
-    ntrials: u64,
-    make: impl Fn(byzclock_sim::NodeCfg, &mut byzclock_sim::SimRng) -> A + Sync,
-    adv: impl Fn() -> Adv + Sync,
-) -> Vec<Option<u64>>
-where
-    A: Application + DigitalClock,
-    Adv: Adversary<A::Msg>,
-{
+/// `experiments spec "<line>"`: run one scenario and dump its report JSON.
+fn run_single_spec(line: Option<&str>) {
+    let Some(line) = line else {
+        eprintln!("usage: experiments spec \"<scenario line>\"");
+        eprintln!("example: experiments spec \"clock-sync n=7 f=2 k=64 coin=ticket\"");
+        std::process::exit(2);
+    };
+    let spec = match ScenarioSpec::parse(line) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match default_registry().run(&spec) {
+        Ok(report) => println!("{}", report.to_json()),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Convergence-beat samples over seeded trials of one spec (the seed field
+/// of the spec is replaced by the trial index).
+fn samples(registry: &ProtocolRegistry, spec: &ScenarioSpec, ntrials: u64) -> Vec<Option<u64>> {
     parallel_trials(ntrials, default_threads(), |seed| {
-        let mut sim = SimBuilder::new(n, f).seed(seed).build(
-            |cfg, rng| {
-                let mut app = make(cfg, rng);
-                app.corrupt(rng); // converge from an arbitrary state
-                app
-            },
-            adv(),
-        );
-        run_until_stable_sync(&mut sim, horizon, WINDOW)
+        registry
+            .run(&spec.clone().with_seed(seed))
+            .unwrap_or_else(|e| panic!("spec `{spec}` failed: {e}"))
+            .beats_to_sync()
     })
+}
+
+/// One full-budget (steady-state) report for a spec.
+fn exact(registry: &ProtocolRegistry, spec: &ScenarioSpec) -> RunReport {
+    registry
+        .run_exact(spec)
+        .unwrap_or_else(|e| panic!("spec `{spec}` failed: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -106,78 +116,70 @@ fn t1_table_1() {
          Byzantine nodes (adversarial stress is measured in R1/A1). Cells:\n\
          mean beats (p95) over trials.\n"
     );
-    let k = 8u64;
+    let registry = default_registry();
     let ns = [4usize, 7, 10, 13];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
-    // [10] Dolev–Welch-style probabilistic (expected exponential).
-    let mut dw_row = vec!["[10] probabilistic, local coins (O(2^{2(n-f)}))".to_string()];
-    for &n in &ns {
-        let f = (n - 1) / 3;
-        let horizon: u64 = 300_000;
-        let ntrials = trials(10).min(10);
-        let samples =
-            converge_samples(n, f, horizon, ntrials, |cfg, _| DwClock::new(cfg, k), || {
-                SilentAdversary
-            });
-        dw_row.push(Summary::of(&samples).cell(horizon));
+    struct Row {
+        label: &'static str,
+        protocol: &'static str,
+        coin: CoinSpec,
+        f_of: fn(usize) -> usize,
+        horizon: u64,
+        ntrials: u64,
     }
-    rows.push(dw_row);
+    let spec_rows = [
+        Row {
+            label: "[10] probabilistic, local coins (O(2^{2(n-f)}))",
+            protocol: "dw-clock",
+            coin: CoinSpec::Local,
+            f_of: |n| (n - 1) / 3,
+            horizon: 300_000,
+            ntrials: trials(10).min(10),
+        },
+        Row {
+            label: "[15] deterministic queen (O(f), f<n/4)",
+            protocol: "queen-clock",
+            coin: CoinSpec::None,
+            f_of: |n| (n - 1) / 4,
+            horizon: 5_000,
+            ntrials: trials(20),
+        },
+        Row {
+            label: "[7] deterministic phase-king (O(f), f<n/3)",
+            protocol: "pk-clock",
+            coin: CoinSpec::None,
+            f_of: |n| (n - 1) / 3,
+            horizon: 5_000,
+            ntrials: trials(20),
+        },
+        Row {
+            label: "**current** ss-Byz-Clock-Sync (expected O(1), f<n/3)",
+            protocol: "clock-sync",
+            coin: CoinSpec::Ticket,
+            f_of: |n| (n - 1) / 3,
+            horizon: 5_000,
+            ntrials: trials(20),
+        },
+    ];
 
-    // [15]-shaped deterministic queen clock (f < n/4).
-    let mut q_row = vec!["[15] deterministic queen (O(f), f<n/4)".to_string()];
-    for &n in &ns {
-        let f = (n - 1) / 4;
-        if f == 0 {
-            q_row.push("f=0 (n too small)".to_string());
-            continue;
+    for row in &spec_rows {
+        let mut cells = vec![row.label.to_string()];
+        for &n in &ns {
+            let f = (row.f_of)(n);
+            if f == 0 {
+                cells.push("f=0 (n too small)".to_string());
+                continue;
+            }
+            let spec = ScenarioSpec::new(row.protocol, n, f)
+                .with_coin(row.coin)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(row.horizon);
+            let s = samples(&registry, &spec, row.ntrials);
+            cells.push(Summary::of(&s).cell(row.horizon));
         }
-        let horizon: u64 = 5_000;
-        let samples = converge_samples(
-            n,
-            f,
-            horizon,
-            trials(20),
-            move |cfg, _| QueenClock::new(QueenScheme::new(cfg), k),
-            || SilentAdversary,
-        );
-        q_row.push(Summary::of(&samples).cell(horizon));
+        rows.push(cells);
     }
-    rows.push(q_row);
-
-    // [7]-shaped deterministic phase-king clock (f < n/3).
-    let mut pk_row = vec!["[7] deterministic phase-king (O(f), f<n/3)".to_string()];
-    for &n in &ns {
-        let f = (n - 1) / 3;
-        let horizon: u64 = 5_000;
-        let samples = converge_samples(
-            n,
-            f,
-            horizon,
-            trials(20),
-            move |cfg, _| PkClock::new(PhaseKingScheme::new(cfg), k),
-            || SilentAdversary,
-        );
-        pk_row.push(Summary::of(&samples).cell(horizon));
-    }
-    rows.push(pk_row);
-
-    // Current paper: ss-Byz-Clock-Sync over the GVSS ticket coin.
-    let mut cur_row = vec!["**current** ss-Byz-Clock-Sync (expected O(1), f<n/3)".to_string()];
-    for &n in &ns {
-        let f = (n - 1) / 3;
-        let horizon: u64 = 5_000;
-        let samples = converge_samples(
-            n,
-            f,
-            horizon,
-            trials(20),
-            move |cfg, rng| ticket_clock_sync(cfg, k, rng),
-            || SilentAdversary,
-        );
-        cur_row.push(Summary::of(&samples).cell(horizon));
-    }
-    rows.push(cur_row);
 
     let headers: Vec<String> = std::iter::once("algorithm".to_string())
         .chain(ns.iter().map(|n| format!("n={n}")))
@@ -198,69 +200,56 @@ fn t1_table_1() {
 
 fn f1_coin_contract() {
     println!("## F1 — Fig. 1 contract: ss-Byz-Coin-Flip quality (p0 / p1 / safe-beat rate)\n");
+    let registry = default_registry();
     let beats = 40 * trials(1).clamp(1, 10);
+    let columns: [(&str, CoinSpec, AdversarySpec); 5] = [
+        ("ticket / silent", CoinSpec::Ticket, AdversarySpec::Silent),
+        (
+            "ticket / noise",
+            CoinSpec::Ticket,
+            AdversarySpec::CoinNoise { depth: 4 },
+        ),
+        (
+            "ticket / bad dealer",
+            CoinSpec::Ticket,
+            AdversarySpec::InconsistentDealer,
+        ),
+        (
+            "ticket / recover-equiv",
+            CoinSpec::Ticket,
+            AdversarySpec::RecoverEquivocator { slot: 3 },
+        ),
+        (
+            "XOR / recover-equiv",
+            CoinSpec::Xor,
+            AdversarySpec::RecoverEquivocator { slot: 3 },
+        ),
+    ];
     let mut rows = Vec::new();
-    for &n in &[4usize, 7, 10] {
+    for (i, &n) in [4usize, 7, 10].iter().enumerate() {
         let f = (n - 1) / 3;
-        let cell = |s: CoinStats| {
-            format!("p0={:.2} p1={:.2} agree={:.2}", s.p0(), s.p1(), s.agreement_rate())
-        };
-        let silent = measure_coin(n, f, 1, beats, TicketCoinScheme::new, SilentAdversary);
-        let noise = measure_coin(
-            n,
-            f,
-            2,
-            beats,
-            TicketCoinScheme::new,
-            CoinNoiseAdversary { depth: 4, targets: n },
-        );
-        let dealer = measure_coin(
-            n,
-            f,
-            3,
-            beats,
-            TicketCoinScheme::new,
-            InconsistentDealer { targets: n, f },
-        );
-        let recover = measure_coin(
-            n,
-            f,
-            4,
-            beats,
-            TicketCoinScheme::new,
-            RecoverEquivocator { recover_slot: 3, targets: n },
-        );
-        let xor_recover = measure_coin(
-            n,
-            f,
-            5,
-            beats,
-            XorCoinScheme::new,
-            RecoverEquivocator { recover_slot: 3, targets: 1 },
-        );
-        rows.push(vec![
-            format!("n={n}, f={f}"),
-            cell(silent),
-            cell(noise),
-            cell(dealer),
-            cell(recover),
-            cell(xor_recover),
-        ]);
+        let mut cells = vec![format!("n={n}, f={f}")];
+        for (j, (_, coin, adversary)) in columns.iter().enumerate() {
+            let spec = ScenarioSpec::new("coin-stream", n, f)
+                .with_coin(*coin)
+                .with_adversary(*adversary)
+                .with_faults(FaultPlanSpec::none())
+                .with_seed((i * columns.len() + j) as u64 + 1)
+                .with_budget(beats);
+            let report = exact(&registry, &spec);
+            cells.push(format!(
+                "p0={:.2} p1={:.2} agree={:.2}",
+                report.extra("p0").unwrap_or(f64::NAN),
+                report.extra("p1").unwrap_or(f64::NAN),
+                report.extra("agreement_rate").unwrap_or(f64::NAN),
+            ));
+        }
+        rows.push(cells);
     }
-    println!(
-        "{}",
-        md_table(
-            &[
-                "cluster",
-                "ticket / silent",
-                "ticket / noise",
-                "ticket / bad dealer",
-                "ticket / recover-equiv",
-                "XOR / recover-equiv",
-            ],
-            &rows
-        )
-    );
+    let headers: Vec<&str> = std::iter::once("cluster")
+        .chain(columns.iter().map(|(h, _, _)| *h))
+        .collect();
+    println!("{}", md_table(&headers, &rows));
     println!(
         "Contract: p0 and p1 are bounded away from 0 under every adversary\n\
          (Def. 2.6/2.7); honest ticket-coin frequencies follow the FM lottery\n\
@@ -275,54 +264,59 @@ fn f1_coin_contract() {
 fn f2_two_clock_contract() {
     println!("## F2 — Fig. 2 contract: ss-Byz-2-Clock convergence vs coin quality\n");
     println!(
-        "n=7, f=2, splitter adversary, OracleRand with P[safe beat] = c1\n\
+        "n=7, f=2, splitter adversary, oracle coin with P[safe beat] = c1\n\
          (split beats are adversarial). Theorem 2 predicts expected beats\n\
          = O(1/(c2*c1^2)) with c2 = min(p0,p1) = c1/2.\n"
     );
+    let registry = default_registry();
     let ntrials = trials(60);
     let horizon = 20_000u64;
     let mut rows = Vec::new();
     for &c1 in &[1.0f64, 0.8, 0.5, 0.3] {
-        let samples = parallel_trials(ntrials, default_threads(), |seed| {
-            let beacon = OracleBeacon::new(c1 / 2.0, c1 / 2.0, seed.wrapping_add(9_000));
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                move |cfg, rng| {
-                    let mut c = TwoClock::new(cfg, beacon.source(cfg.id));
-                    c.corrupt(rng);
-                    c
-                },
-                SplitVoteAdversary,
-            );
-            run_until_stable_sync(&mut sim, horizon, WINDOW)
-        });
-        let s = Summary::of(&samples);
+        let spec = ScenarioSpec::new("two-clock", 7, 2)
+            .with_coin(CoinSpec::oracle(c1 / 2.0, c1 / 2.0))
+            .with_adversary(AdversarySpec::SplitVote)
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(horizon);
+        let s = Summary::of(&samples(&registry, &spec, ntrials));
         let analytic = 1.0 / ((c1 / 2.0) * c1 * c1);
-        rows.push(vec![format!("{c1:.1}"), s.cell(horizon), format!("{analytic:.1}")]);
+        rows.push(vec![
+            format!("{c1:.1}"),
+            s.cell(horizon),
+            format!("{analytic:.1}"),
+        ]);
     }
     println!(
         "{}",
-        md_table(&["c1 = p0+p1", "measured beats mean (p95)", "analytic 1/(c2*c1^2)"], &rows)
+        md_table(
+            &[
+                "c1 = p0+p1",
+                "measured beats mean (p95)",
+                "analytic 1/(c2*c1^2)"
+            ],
+            &rows
+        )
     );
 
     // Geometric tail (Remark 3.2): P[T > l] decays exponentially.
     println!("Tail of the convergence time (perfect coin, splitter adversary):\n");
-    let samples = parallel_trials(trials(400), default_threads(), |seed| {
-        let beacon = OracleBeacon::perfect(seed.wrapping_add(77));
-        let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-            move |cfg, rng| {
-                let mut c = TwoClock::new(cfg, beacon.source(cfg.id));
-                c.corrupt(rng);
-                c
-            },
-            SplitVoteAdversary,
-        );
-        run_until_stable_sync(&mut sim, 2_000, WINDOW)
-    });
-    let total = samples.len() as f64;
+    let spec = ScenarioSpec::new("two-clock", 7, 2)
+        .with_coin(CoinSpec::perfect_oracle())
+        .with_adversary(AdversarySpec::SplitVote)
+        .with_faults(FaultPlanSpec::corrupt_start())
+        .with_budget(2_000);
+    let tail_samples = samples(&registry, &spec, trials(400));
+    let total = tail_samples.len() as f64;
     let mut rows = Vec::new();
     for l in [2u64, 4, 8, 16, 32, 64] {
-        let exceed = samples.iter().filter(|s| s.map_or(true, |t| t > l)).count();
-        rows.push(vec![format!("{l}"), format!("{:.3}", exceed as f64 / total)]);
+        let exceed = tail_samples
+            .iter()
+            .filter(|s| s.is_none_or(|t| t > l))
+            .count();
+        rows.push(vec![
+            format!("{l}"),
+            format!("{:.3}", exceed as f64 / total),
+        ]);
     }
     println!("{}", md_table(&["l (beats)", "P[T > l]"], &rows));
 }
@@ -333,30 +327,32 @@ fn f2_two_clock_contract() {
 
 fn f3_four_clock_contract() {
     println!("## F3 — Fig. 3 contract: ss-Byz-4-Clock (GVSS ticket coin)\n");
+    let registry = default_registry();
     let horizon = 3_000u64;
-    let samples = converge_samples(
-        7,
-        2,
-        horizon,
-        trials(30),
-        |cfg, rng| ticket_four_clock(cfg, rng),
-        || SilentAdversary,
-    );
-    let s = Summary::of(&samples);
+    let spec = ScenarioSpec::new("four-clock", 7, 2)
+        .with_coin(CoinSpec::Ticket)
+        .with_faults(FaultPlanSpec::corrupt_start())
+        .with_budget(horizon);
+    let s = Summary::of(&samples(&registry, &spec, trials(30)));
     println!("convergence (n=7, f=2): {}\n", s.cell(horizon));
 
-    // A2 step ratio after convergence (Theorem 3's every-other-beat gate).
-    let mut sim = SimBuilder::new(7, 2)
-        .seed(5)
-        .build(|cfg, rng| ticket_four_clock(cfg, rng), SilentAdversary);
-    run_until_stable_sync(&mut sim, horizon, WINDOW).expect("4-clock converged");
-    let before: Vec<f64> = sim.correct_apps().map(|(_, a)| a.a2_step_ratio()).collect();
-    sim.run_beats(200);
-    let after: Vec<f64> = sim.correct_apps().map(|(_, a)| a.a2_step_ratio()).collect();
+    // A2 step ratio after convergence (Theorem 3's every-other-beat gate):
+    // drive the same spec to convergence, then 200 more beats, comparing
+    // the gate metric the family reports through the extras.
+    let probe = spec.clone().with_seed(5).with_faults(FaultPlanSpec::none());
+    let mut run = registry.start(&probe).expect("four-clock spec resolves");
+    let at_sync = byzclock::scenario::drive(run.as_mut(), &probe, 8);
+    let before = at_sync.extra("a2_step_ratio").unwrap_or(f64::NAN);
+    for _ in 0..200 {
+        run.step();
+    }
+    let after = run
+        .extras()
+        .iter()
+        .find(|(n, _)| n == "a2_step_ratio")
+        .map_or(f64::NAN, |&(_, v)| v);
     println!(
-        "A2 step ratio drifts to 1/2 after convergence: at convergence {:.3}, +200 beats {:.3}\n",
-        before.iter().sum::<f64>() / before.len() as f64,
-        after.iter().sum::<f64>() / after.len() as f64,
+        "A2 step ratio drifts to 1/2 after convergence: at convergence {before:.3}, +200 beats {after:.3}\n",
     );
 }
 
@@ -371,60 +367,41 @@ fn f4_k_clock_contract() {
          recursive doubling grows with log k; Dolev–Welch blows up with k.\n\
          Oracle coins isolate k-scaling from coin cost; DW uses local coins.\n"
     );
+    let registry = default_registry();
     let ntrials = trials(30);
     let mut rows = Vec::new();
     for &k in &[4u64, 16, 64, 256, 1024] {
         let horizon_cs = 5_000u64;
-        let cs = parallel_trials(ntrials, default_threads(), |seed| {
-            let b1 = OracleBeacon::perfect(seed.wrapping_add(1));
-            let b2 = OracleBeacon::perfect(seed.wrapping_add(2));
-            let b3 = OracleBeacon::perfect(seed.wrapping_add(3));
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                move |cfg, rng| {
-                    let mut c = ClockSync::new(
-                        cfg,
-                        k,
-                        b1.source(cfg.id),
-                        b2.source(cfg.id),
-                        b3.source(cfg.id),
-                    );
-                    c.corrupt(rng);
-                    c
-                },
-                SilentAdversary,
-            );
-            run_until_stable_sync(&mut sim, horizon_cs, WINDOW)
-        });
+        let cs = samples(
+            &registry,
+            &ScenarioSpec::new("clock-sync", 7, 2)
+                .with_modulus(k)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon_cs),
+            ntrials,
+        );
         let levels = (k as f64).log2().ceil() as usize;
         let horizon_rec = 20_000u64;
-        let rec = parallel_trials(ntrials, default_threads(), |seed| {
-            let beacons: Vec<OracleBeacon> = (0..levels)
-                .map(|j| OracleBeacon::perfect(seed.wrapping_add(100 + j as u64)))
-                .collect();
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                move |cfg, rng| {
-                    let beacons = beacons.clone();
-                    let mut c =
-                        RecursiveClock::new(cfg, levels, move |j| beacons[j].source(cfg.id));
-                    c.corrupt(rng);
-                    c
-                },
-                SilentAdversary,
-            );
-            run_until_stable_sync(&mut sim, horizon_rec, WINDOW)
-        });
+        let rec = samples(
+            &registry,
+            &ScenarioSpec::new("recursive", 7, 2)
+                .with_modulus(k)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon_rec),
+            ntrials,
+        );
         let horizon_dw = 300_000u64;
-        let dw = parallel_trials(ntrials.min(10), default_threads(), |seed| {
-            let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-                |cfg, rng| {
-                    let mut c = DwClock::new(cfg, k);
-                    c.corrupt(rng);
-                    c
-                },
-                SilentAdversary,
-            );
-            run_until_stable_sync(&mut sim, horizon_dw, WINDOW)
-        });
+        let dw = samples(
+            &registry,
+            &ScenarioSpec::new("dw-clock", 7, 2)
+                .with_modulus(k)
+                .with_coin(CoinSpec::Local)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon_dw),
+            ntrials.min(10),
+        );
         rows.push(vec![
             format!("{k}"),
             Summary::of(&cs).cell(horizon_cs),
@@ -435,7 +412,12 @@ fn f4_k_clock_contract() {
     println!(
         "{}",
         md_table(
-            &["k", "ss-Byz-Clock-Sync", "sec. 5 recursive doubling", "Dolev–Welch local-coin"],
+            &[
+                "k",
+                "ss-Byz-Clock-Sync",
+                "sec. 5 recursive doubling",
+                "Dolev–Welch local-coin"
+            ],
             &rows
         )
     );
@@ -453,39 +435,26 @@ fn a1_broken_rand_ablation() {
          shrugs it off; the broken variant (senders substitute *yesterday's*\n\
          bit) lets the adversary steer vote counts with full knowledge.\n"
     );
+    let registry = default_registry();
     let ntrials = trials(60);
     let horizon = 5_000u64;
-    let correct = parallel_trials(ntrials, default_threads(), |seed| {
-        let beacon = OracleBeacon::perfect(seed.wrapping_add(31));
-        let nodes = beacon.clone();
-        let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-            move |cfg, rng| {
-                let mut c = TwoClock::new(cfg, nodes.source(cfg.id));
-                c.corrupt(rng);
-                c
-            },
-            RandAwareSplitter::new(beacon),
-        );
-        run_until_stable_sync(&mut sim, horizon, WINDOW)
-    });
-    let broken = parallel_trials(ntrials, default_threads(), |seed| {
-        let beacon = OracleBeacon::perfect(seed.wrapping_add(31));
-        let nodes = beacon.clone();
-        let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-            move |cfg, rng| {
-                let mut c = BrokenTwoClock::new(cfg, nodes.source(cfg.id));
-                c.corrupt(rng);
-                c
-            },
-            RandAwareSplitter::new(beacon),
-        );
-        run_until_stable_sync(&mut sim, horizon, WINDOW)
-    });
-    let rows = vec![
-        vec!["ss-Byz-2-Clock (correct)".to_string(), Summary::of(&correct).cell(horizon)],
-        vec!["broken variant (Remark 3.1)".to_string(), Summary::of(&broken).cell(horizon)],
-    ];
-    println!("{}", md_table(&["protocol", "convergence beats (n=7, f=2)"], &rows));
+    let mut rows = Vec::new();
+    for (label, protocol) in [
+        ("ss-Byz-2-Clock (correct)", "two-clock"),
+        ("broken variant (Remark 3.1)", "broken-two-clock"),
+    ] {
+        let spec = ScenarioSpec::new(protocol, 7, 2)
+            .with_coin(CoinSpec::perfect_oracle())
+            .with_adversary(AdversarySpec::RandAwareSplitter)
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(horizon);
+        let s = Summary::of(&samples(&registry, &spec, ntrials));
+        rows.push(vec![label.to_string(), s.cell(horizon)]);
+    }
+    println!(
+        "{}",
+        md_table(&["protocol", "convergence beats (n=7, f=2)"], &rows)
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -494,57 +463,39 @@ fn a1_broken_rand_ablation() {
 
 fn a2_shared_pipeline_ablation() {
     println!("## A2 — Remark 4.1 ablation: per-sub-clock pipelines vs one shared pipeline\n");
+    let registry = default_registry();
     let ntrials = trials(20);
     let horizon = 3_000u64;
-    let two = converge_samples(
-        7,
-        2,
-        horizon,
-        ntrials,
-        |cfg, rng| ticket_four_clock(cfg, rng),
-        || SilentAdversary,
-    );
-    let shared = converge_samples(
-        7,
-        2,
-        horizon,
-        ntrials,
-        |cfg, rng| SharedFourClock::new(cfg, byzclock_coin::ticket_coin(cfg, rng)),
-        || SilentAdversary,
-    );
-    // Traffic (messages / bytes per beat): run 100 beats each.
-    let (m2, b2) = {
-        let mut sim = SimBuilder::new(7, 2)
-            .seed(1)
-            .build(|cfg, rng| ticket_four_clock(cfg, rng), SilentAdversary);
-        sim.run_beats(100);
-        (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-    };
-    let (m1, b1) = {
-        let mut sim = SimBuilder::new(7, 2).seed(1).build(
-            |cfg, rng| SharedFourClock::new(cfg, byzclock_coin::ticket_coin(cfg, rng)),
-            SilentAdversary,
-        );
-        sim.run_beats(100);
-        (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-    };
-    let rows = vec![
-        vec![
-            "two pipelines (paper)".to_string(),
-            Summary::of(&two).cell(horizon),
-            format!("{m2:.0}"),
-            format!("{b2:.0}"),
-        ],
-        vec![
-            "shared pipeline (Remark 4.1)".to_string(),
-            Summary::of(&shared).cell(horizon),
-            format!("{m1:.0}"),
-            format!("{b1:.0}"),
-        ],
-    ];
+    let mut rows = Vec::new();
+    for (label, protocol) in [
+        ("two pipelines (paper)", "four-clock"),
+        ("shared pipeline (Remark 4.1)", "shared-four-clock"),
+    ] {
+        let converge_spec = ScenarioSpec::new(protocol, 7, 2)
+            .with_coin(CoinSpec::Ticket)
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(horizon);
+        let s = Summary::of(&samples(&registry, &converge_spec, ntrials));
+        // Traffic: steady state over exactly 100 beats, clean boot.
+        let traffic_spec = ScenarioSpec::new(protocol, 7, 2)
+            .with_coin(CoinSpec::Ticket)
+            .with_faults(FaultPlanSpec::none())
+            .with_seed(1)
+            .with_budget(100);
+        let t = exact(&registry, &traffic_spec).traffic;
+        rows.push(vec![
+            label.to_string(),
+            s.cell(horizon),
+            format!("{:.0}", t.mean_correct_msgs_per_beat),
+            format!("{:.0}", t.mean_correct_bytes_per_beat),
+        ]);
+    }
     println!(
         "{}",
-        md_table(&["variant", "convergence beats", "msgs/beat", "bytes/beat"], &rows)
+        md_table(
+            &["variant", "convergence beats", "msgs/beat", "bytes/beat"],
+            &rows
+        )
     );
 }
 
@@ -554,62 +505,50 @@ fn a2_shared_pipeline_ablation() {
 
 fn r1_resiliency_boundary() {
     println!("## R1 — resiliency boundary (f < n/3 optimality; f < n/4 for the queen)\n");
+    let registry = default_registry();
     let ntrials = trials(20);
     let horizon = 2_000u64;
     let rate = |samples: &[Option<u64>]| {
         let ok = samples.iter().filter(|s| s.is_some()).count();
         format!("{}/{} converged", ok, samples.len())
     };
-    // ss-Byz-Clock-Sync with oracle coin + splitter, legal vs boundary f.
-    let run_cs = |n: usize, f: usize| {
-        parallel_trials(ntrials, default_threads(), move |seed| {
-            let b1 = OracleBeacon::perfect(seed.wrapping_add(1));
-            let b2 = OracleBeacon::perfect(seed.wrapping_add(2));
-            let b3 = OracleBeacon::perfect(seed.wrapping_add(3));
-            let mut sim = SimBuilder::new(n, f).seed(seed).build(
-                move |cfg, rng| {
-                    let mut c = ClockSync::new(
-                        cfg,
-                        8,
-                        b1.source(cfg.id),
-                        b2.source(cfg.id),
-                        b3.source(cfg.id),
-                    );
-                    c.corrupt(rng);
-                    c
-                },
-                SplitVoteAdversary,
-            );
-            run_until_stable_sync(&mut sim, horizon, WINDOW)
-        })
+    let cs_spec = |n: usize, f: usize| {
+        ScenarioSpec::new("clock-sync", n, f)
+            .with_modulus(8)
+            .with_coin(CoinSpec::perfect_oracle())
+            .with_adversary(AdversarySpec::SplitVote)
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(horizon)
     };
-    let legal = run_cs(7, 2); // 2 < 7/3
-    let boundary = run_cs(6, 2); // 2 = 6/3 — violates f < n/3
-    // Queen clock under an equivocating Byzantine queen, within budget.
-    let queen_legal = parallel_trials(ntrials, default_threads(), move |seed| {
-        let depth = byzclock_baselines::queen_rounds(1) as u8;
-        let mut sim = SimBuilder::new(5, 1)
-            .seed(seed)
-            .byzantine([0u16])
-            .build(
-                move |cfg, rng| {
-                    let mut c = QueenClock::new(QueenScheme::new(cfg), 8);
-                    c.corrupt(rng);
-                    c
-                },
-                byzclock_baselines::BaEquivocator { depth, mixed_bits: false },
-            );
-        run_until_stable_sync(&mut sim, horizon, WINDOW)
-    });
+    let legal = samples(&registry, &cs_spec(7, 2), ntrials); // 2 < 7/3
+    let boundary = samples(&registry, &cs_spec(6, 2), ntrials); // 2 = 6/3
+                                                                // Queen clock under an equivocating Byzantine queen, within budget.
+    let queen_spec = ScenarioSpec::new("queen-clock", 5, 1)
+        .with_modulus(8)
+        .with_coin(CoinSpec::None)
+        .with_adversary(AdversarySpec::BaEquivocator { mixed_bits: false })
+        .with_byzantine([0])
+        .with_faults(FaultPlanSpec::corrupt_start())
+        .with_budget(horizon);
+    let queen_legal = samples(&registry, &queen_spec, ntrials);
     let rows = vec![
-        vec!["ss-Byz-Clock-Sync n=7, f=2 + splitter (legal)".into(), rate(&legal)],
-        vec!["ss-Byz-Clock-Sync n=6, f=2 + splitter (f = n/3)".into(), rate(&boundary)],
+        vec![
+            "ss-Byz-Clock-Sync n=7, f=2 + splitter (legal)".into(),
+            rate(&legal),
+        ],
+        vec![
+            "ss-Byz-Clock-Sync n=6, f=2 + splitter (f = n/3)".into(),
+            rate(&boundary),
+        ],
         vec![
             "queen clock n=5, f=1 + equivocating queen (legal)".into(),
             rate(&queen_legal),
         ],
     ];
-    println!("{}", md_table(&["configuration", "success within horizon"], &rows));
+    println!(
+        "{}",
+        md_table(&["configuration", "success within horizon"], &rows)
+    );
     println!(
         "Queen boundary (f = n/4): in the *clock*, consensus validity shields an\n\
          already-unanimous steady state, so the violation shows up in one-shot\n\
@@ -631,30 +570,34 @@ fn s1_self_stabilization() {
          memory is scrambled and 100 phantom messages are replayed. Recovery\n\
          time is measured from the fault and compared with a fresh start.\n"
     );
+    let registry = default_registry();
     let ntrials = trials(30);
     let horizon = 3_000u64;
-    let fresh = converge_samples(
-        7,
-        2,
-        horizon,
+    let base = ScenarioSpec::new("clock-sync", 7, 2)
+        .with_modulus(64)
+        .with_coin(CoinSpec::Ticket);
+    let fresh = samples(
+        &registry,
+        &base
+            .clone()
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(horizon),
         ntrials,
-        |cfg, rng| ticket_clock_sync(cfg, 64, rng),
-        || SilentAdversary,
     );
-    let recovery = parallel_trials(ntrials, default_threads(), |seed| {
-        let plan = FaultPlan::new(vec![
-            FaultEvent { beat: 60, kind: FaultKind::CorruptAllCorrect },
-            FaultEvent { beat: 60, kind: FaultKind::PhantomBurst { count: 100 } },
-        ]);
-        let mut sim = SimBuilder::new(7, 2).seed(seed).faults(plan).build(
-            |cfg, rng| ticket_clock_sync(cfg, 64, rng),
-            SilentAdversary,
-        );
-        sim.run_beats(61);
-        run_until_stable_sync(&mut sim, 61 + horizon, WINDOW).map(|t| t.saturating_sub(61))
-    });
+    // beats_to_sync counts from the end of the beat-60 storm automatically.
+    let recovery = samples(
+        &registry,
+        &base
+            .clone()
+            .with_faults(FaultPlanSpec::storm(60, 100))
+            .with_budget(61 + horizon),
+        ntrials,
+    );
     let rows = vec![
-        vec!["fresh start (corrupted init)".to_string(), Summary::of(&fresh).cell(horizon)],
+        vec![
+            "fresh start (corrupted init)".to_string(),
+            Summary::of(&fresh).cell(horizon),
+        ],
         vec![
             "post-fault recovery (beats after fault)".to_string(),
             Summary::of(&recovery).cell(horizon),
@@ -669,63 +612,36 @@ fn s1_self_stabilization() {
 
 fn m1_message_complexity() {
     println!("## M1 — message complexity per beat (correct senders, k = 64)\n");
+    let registry = default_registry();
+    let columns: [(&str, &str, CoinSpec); 4] = [
+        ("ClockSync (msgs/bytes)", "clock-sync", CoinSpec::Ticket),
+        ("Recursive x6 levels", "recursive", CoinSpec::Ticket),
+        ("PkClock (O(f) pipeline)", "pk-clock", CoinSpec::None),
+        ("DwClock", "dw-clock", CoinSpec::Local),
+    ];
     let mut rows = Vec::new();
     for &n in &[4usize, 7, 10, 13] {
         let f = (n - 1) / 3;
-        let (cs_m, cs_b) = {
-            let mut sim = SimBuilder::new(n, f)
-                .seed(1)
-                .build(|cfg, rng| ticket_clock_sync(cfg, 64, rng), SilentAdversary);
-            sim.run_beats(50);
-            (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-        };
-        let (rec_m, rec_b) = {
-            let levels = 6; // 2^6 = 64
-            let mut sim = SimBuilder::new(n, f).seed(1).build(
-                move |cfg, rng| {
-                    RecursiveClock::new(cfg, levels, |_| byzclock_coin::ticket_coin(cfg, rng))
-                },
-                SilentAdversary,
-            );
-            sim.run_beats(50);
-            (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-        };
-        let (pk_m, pk_b) = {
-            let mut sim = SimBuilder::new(n, f).seed(1).build(
-                |cfg, _rng| PkClock::new(PhaseKingScheme::new(cfg), 64),
-                SilentAdversary,
-            );
-            sim.run_beats(50);
-            (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-        };
-        let (dw_m, dw_b) = {
-            let mut sim = SimBuilder::new(n, f)
-                .seed(1)
-                .build(|cfg, _rng| DwClock::new(cfg, 64), SilentAdversary);
-            sim.run_beats(50);
-            (sim.stats().mean_correct_msgs_per_beat(), sim.stats().mean_correct_bytes_per_beat())
-        };
-        rows.push(vec![
-            format!("n={n}, f={f}"),
-            format!("{cs_m:.0} / {cs_b:.0}"),
-            format!("{rec_m:.0} / {rec_b:.0}"),
-            format!("{pk_m:.0} / {pk_b:.0}"),
-            format!("{dw_m:.0} / {dw_b:.0}"),
-        ]);
+        let mut cells = vec![format!("n={n}, f={f}")];
+        for (_, protocol, coin) in &columns {
+            let spec = ScenarioSpec::new(*protocol, n, f)
+                .with_modulus(64)
+                .with_coin(*coin)
+                .with_faults(FaultPlanSpec::none())
+                .with_seed(1)
+                .with_budget(50);
+            let t = exact(&registry, &spec).traffic;
+            cells.push(format!(
+                "{:.0} / {:.0}",
+                t.mean_correct_msgs_per_beat, t.mean_correct_bytes_per_beat
+            ));
+        }
+        rows.push(cells);
     }
-    println!(
-        "{}",
-        md_table(
-            &[
-                "cluster",
-                "ClockSync (msgs/bytes)",
-                "Recursive x6 levels",
-                "PkClock (O(f) pipeline)",
-                "DwClock",
-            ],
-            &rows
-        )
-    );
+    let headers: Vec<&str> = std::iter::once("cluster")
+        .chain(columns.iter().map(|(h, _, _)| *h))
+        .collect();
+    println!("{}", md_table(&headers, &rows));
     println!(
         "Shape check: ClockSync's overhead over the 4-clock is a constant\n\
          (one extra broadcast + one coin pipeline); the recursive clock pays\n\

@@ -93,14 +93,21 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// Renders a Markdown table.
 pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", headers.join(" | "));
-    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -113,7 +120,9 @@ pub fn default_threads() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         })
 }
 

@@ -23,12 +23,7 @@ pub struct CoinNoiseAdversary {
 }
 
 impl CoinNoiseAdversary {
-    fn random_msg(
-        &self,
-        rng: &mut byzclock_sim::SimRng,
-        n: usize,
-        f: usize,
-    ) -> CoinMsg {
+    fn random_msg(&self, rng: &mut byzclock_sim::SimRng, n: usize, f: usize) -> CoinMsg {
         let p = byzclock_field::smallest_prime_above(n as u64);
         match rng.random_range(0..4u8) {
             0 => CoinMsg::Row {
@@ -39,19 +34,19 @@ impl CoinNoiseAdversary {
             1 => CoinMsg::Echo {
                 points: (0..n)
                     .map(|_| {
-                        rng.random::<bool>().then(|| {
-                            (0..self.targets).map(|_| rng.random_range(0..p)).collect()
-                        })
+                        rng.random::<bool>()
+                            .then(|| (0..self.targets).map(|_| rng.random_range(0..p)).collect())
                     })
                     .collect(),
             },
-            2 => CoinMsg::Vote { content: (0..n).map(|_| rng.random()).collect() },
+            2 => CoinMsg::Vote {
+                content: (0..n).map(|_| rng.random()).collect(),
+            },
             _ => CoinMsg::Recover {
                 shares: (0..n)
                     .map(|_| {
-                        rng.random::<bool>().then(|| {
-                            (0..self.targets).map(|_| rng.random_range(0..p)).collect()
-                        })
+                        rng.random::<bool>()
+                            .then(|| (0..self.targets).map(|_| rng.random_range(0..p)).collect())
                     })
                     .collect(),
             },
@@ -119,7 +114,14 @@ impl Adversary<SlotMsg<CoinMsg>> for RecoverEquivocator {
                         )
                     })
                     .collect();
-                out.send(b, to, SlotMsg { slot: self.recover_slot, msg: CoinMsg::Recover { shares } });
+                out.send(
+                    b,
+                    to,
+                    SlotMsg {
+                        slot: self.recover_slot,
+                        msg: CoinMsg::Recover { shares },
+                    },
+                );
             }
         }
     }
@@ -150,14 +152,31 @@ impl Adversary<SlotMsg<CoinMsg>> for InconsistentDealer {
                 let rows: Vec<Vec<u64>> = (0..self.targets)
                     .map(|_| (0..=self.f).map(|_| out.rng().random_range(0..p)).collect())
                     .collect();
-                out.send(b, to, SlotMsg { slot: 0, msg: CoinMsg::Row { rows } });
+                out.send(
+                    b,
+                    to,
+                    SlotMsg {
+                        slot: 0,
+                        msg: CoinMsg::Row { rows },
+                    },
+                );
             }
             // Slot 2: vote content for all Byzantine dealers, none for the
             // correct ones (maximal vote skew).
-            let content: Vec<bool> =
-                (0..n as u16).map(|i| view.is_byzantine(NodeId::new(i))).collect();
+            let content: Vec<bool> = (0..n as u16)
+                .map(|i| view.is_byzantine(NodeId::new(i)))
+                .collect();
             for to in view.all_ids() {
-                out.send(b, to, SlotMsg { slot: 2, msg: CoinMsg::Vote { content: content.clone() } });
+                out.send(
+                    b,
+                    to,
+                    SlotMsg {
+                        slot: 2,
+                        msg: CoinMsg::Vote {
+                            content: content.clone(),
+                        },
+                    },
+                );
             }
         }
     }
@@ -177,7 +196,10 @@ mod tests {
             3,
             60,
             TicketCoinScheme::new,
-            CoinNoiseAdversary { depth: 4, targets: 7 },
+            CoinNoiseAdversary {
+                depth: 4,
+                targets: 7,
+            },
         );
         // Correct dealers stay grade-2 and binding; noise dealers are
         // graded out or consistently included. Agreement should stay high.
@@ -212,7 +234,10 @@ mod tests {
             7,
             60,
             TicketCoinScheme::new,
-            RecoverEquivocator { recover_slot: 3, targets: 7 },
+            RecoverEquivocator {
+                recover_slot: 3,
+                targets: 7,
+            },
         );
         assert!(
             stats.agreement_rate() > 0.8,

@@ -6,9 +6,7 @@
 //! simulated, attacked, and measured in isolation — experiment F1.
 
 use byzclock_core::{CoinScheme, PipelinedCoin, RandSource, RoundProtocol, SlotMsg};
-use byzclock_sim::{
-    Adversary, Application, Envelope, NodeCfg, Outbox, SimRng, Simulation, Target,
-};
+use byzclock_sim::{Adversary, Application, Envelope, NodeCfg, Outbox, SimRng, Simulation, Target};
 
 /// Message type of a [`CoinApp`] over scheme `S`.
 pub type CoinAppMsg<S> = SlotMsg<<<S as CoinScheme>::Proto as RoundProtocol>::Msg>;
@@ -23,7 +21,10 @@ pub struct CoinApp<S: CoinScheme> {
 impl<S: CoinScheme> CoinApp<S> {
     /// Builds the app for one node.
     pub fn new(scheme: S, rng: &mut SimRng) -> Self {
-        CoinApp { coin: PipelinedCoin::new(scheme, rng), history: Vec::new() }
+        CoinApp {
+            coin: PipelinedCoin::new(scheme, rng),
+            history: Vec::new(),
+        }
     }
 
     /// The per-beat output bits since the start of the run

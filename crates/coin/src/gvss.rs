@@ -22,6 +22,9 @@
 //! of degree-`f` polynomials for every correct dealer's secrets —
 //! information-theoretically nothing (Definition 2.6's unpredictability).
 
+// Indexed loops in this file mirror the paper's matrix/polynomial
+// subscripts; iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::messages::{check_matrix, CoinMsg};
 use byzclock_field::{rs, Fp, Poly, SymmetricBivariate};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
@@ -118,7 +121,9 @@ impl GvssCore {
         out: &mut Vec<(Target, CoinMsg)>,
     ) {
         let f = self.cfg.f;
-        self.my_secrets = (0..self.targets).map(|_| sample(rng) % self.fp.modulus()).collect();
+        self.my_secrets = (0..self.targets)
+            .map(|_| sample(rng) % self.fp.modulus())
+            .collect();
         self.dealt = self
             .my_secrets
             .iter()
@@ -146,9 +151,7 @@ impl GvssCore {
                 .iter()
                 .map(|coeffs| {
                     (coeffs.len() <= f + 1).then(|| {
-                        Poly::from_coeffs(
-                            coeffs.iter().map(|&c| self.fp.reduce(c)).collect(),
-                        )
+                        Poly::from_coeffs(coeffs.iter().map(|&c| self.fp.reduce(c)).collect())
                     })
                 })
                 .collect();
@@ -166,7 +169,10 @@ impl GvssCore {
                 .iter()
                 .map(|rows| {
                     rows.as_ref().map(|polys| {
-                        polys.iter().map(|p| p.eval(&self.fp, to.share_point())).collect()
+                        polys
+                            .iter()
+                            .map(|p| p.eval(&self.fp, to.share_point()))
+                            .collect()
                     })
                 })
                 .collect();
@@ -178,17 +184,21 @@ impl GvssCore {
     pub fn recv_echo(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
         for (from, msg) in inbox {
-            let CoinMsg::Echo { points } = msg else { continue };
-            let Some(points) = check_matrix(points, n, self.targets) else { continue };
+            let CoinMsg::Echo { points } = msg else {
+                continue;
+            };
+            let Some(points) = check_matrix(points, n, self.targets) else {
+                continue;
+            };
             for dealer in 0..n {
-                let (Some(my_rows), Some(their_points)) =
-                    (&self.rows[dealer], &points[dealer])
+                let (Some(my_rows), Some(their_points)) = (&self.rows[dealer], &points[dealer])
                 else {
                     continue;
                 };
-                let all_match = my_rows.iter().zip(their_points.iter()).all(|(mine, &p)| {
-                    mine.eval(&self.fp, from.share_point()) == self.fp.reduce(p)
-                });
+                let all_match = my_rows
+                    .iter()
+                    .zip(their_points.iter())
+                    .all(|(mine, &p)| mine.eval(&self.fp, from.share_point()) == self.fp.reduce(p));
                 self.matches[dealer][from.index()] = all_match;
             }
         }
@@ -210,7 +220,9 @@ impl GvssCore {
     pub fn recv_vote(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
         for (from, msg) in inbox {
-            let CoinMsg::Vote { content } = msg else { continue };
+            let CoinMsg::Vote { content } = msg else {
+                continue;
+            };
             if content.len() != n {
                 continue;
             }
@@ -251,11 +263,14 @@ impl GvssCore {
         let n = self.cfg.n;
         let f = self.cfg.f;
         // points[dealer][target] -> (x, y) pairs
-        let mut points: Vec<Vec<Vec<(u64, u64)>>> =
-            vec![vec![Vec::new(); self.targets]; n];
+        let mut points: Vec<Vec<Vec<(u64, u64)>>> = vec![vec![Vec::new(); self.targets]; n];
         for (from, msg) in inbox {
-            let CoinMsg::Recover { shares } = msg else { continue };
-            let Some(shares) = check_matrix(shares, n, self.targets) else { continue };
+            let CoinMsg::Recover { shares } = msg else {
+                continue;
+            };
+            let Some(shares) = check_matrix(shares, n, self.targets) else {
+                continue;
+            };
             for dealer in 0..n {
                 if let Some(vals) = &shares[dealer] {
                     for (t, &v) in vals.iter().enumerate() {
@@ -290,11 +305,7 @@ impl GvssCore {
             self.rows[dealer] = if rng.random() {
                 Some(
                     (0..self.targets)
-                        .map(|_| {
-                            Poly::from_coeffs(
-                                (0..=f).map(|_| self.fp.sample(rng)).collect(),
-                            )
-                        })
+                        .map(|_| Poly::from_coeffs((0..=f).map(|_| self.fp.sample(rng)).collect()))
                         .collect(),
                 )
             } else {
@@ -310,8 +321,7 @@ impl GvssCore {
                 _ => Grade::Two,
             };
             for t in 0..self.targets {
-                self.recovered[dealer][t] =
-                    rng.random::<bool>().then(|| self.fp.sample(rng));
+                self.recovered[dealer][t] = rng.random::<bool>().then(|| self.fp.sample(rng));
             }
         }
     }
@@ -512,16 +522,28 @@ mod tests {
         let mut core = GvssCore::new(cfg, 2);
         let from = NodeId::new(1);
         // Wrong target count in a Row.
-        core.recv_share(&[(from, CoinMsg::Row { rows: vec![vec![1]] })]);
+        core.recv_share(&[(
+            from,
+            CoinMsg::Row {
+                rows: vec![vec![1]],
+            },
+        )]);
         assert!(core.rows[1].is_none());
         // Row polynomial of excessive degree.
         core.recv_share(&[(
             from,
-            CoinMsg::Row { rows: vec![vec![1, 2, 3, 4, 5], vec![1]] },
+            CoinMsg::Row {
+                rows: vec![vec![1, 2, 3, 4, 5], vec![1]],
+            },
         )]);
         assert!(core.rows[1].is_none());
         // Vote with wrong arity.
-        core.recv_vote(&[(from, CoinMsg::Vote { content: vec![true] })]);
+        core.recv_vote(&[(
+            from,
+            CoinMsg::Vote {
+                content: vec![true],
+            },
+        )]);
         assert!(core.votes.iter().all(|per| !per[1]));
         // Echo with wrong dealer arity.
         core.recv_echo(&[(from, CoinMsg::Echo { points: vec![None] })]);

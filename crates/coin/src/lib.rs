@@ -32,6 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod scenario;
+
 mod app;
 mod gvss;
 mod messages;
@@ -135,9 +137,7 @@ pub(crate) mod testutil {
                                 inbox.push((NodeId::new(i as u16), msg.clone()));
                             }
                         }
-                        Target::One(to) => {
-                            inboxes[to.index()].push((NodeId::new(i as u16), msg))
-                        }
+                        Target::One(to) => inboxes[to.index()].push((NodeId::new(i as u16), msg)),
                     }
                 }
             }
@@ -179,10 +179,9 @@ mod tests {
     /// The full paper stack end-to-end: GVSS ticket coin + 2-clock.
     #[test]
     fn ticket_two_clock_converges() {
-        let mut sim = SimBuilder::new(4, 1).seed(2).build(
-            |cfg, rng| ticket_two_clock(cfg, rng),
-            SilentAdversary,
-        );
+        let mut sim = SimBuilder::new(4, 1)
+            .seed(2)
+            .build(ticket_two_clock, SilentAdversary);
         let t = sim.run_until(300, |s| {
             all_synced(s.correct_apps().map(|(_, a)| a.read())).is_some()
         });

@@ -97,12 +97,18 @@ mod tests {
 
     #[test]
     fn wire_lengths() {
-        let m = CoinMsg::Vote { content: vec![true, false, true] };
+        let m = CoinMsg::Vote {
+            content: vec![true, false, true],
+        };
         // tag + vec header + 3 bools
         assert_eq!(m.encoded_len(), 1 + 4 + 3);
-        let m = CoinMsg::Row { rows: vec![vec![1, 2], vec![3]] };
+        let m = CoinMsg::Row {
+            rows: vec![vec![1, 2], vec![3]],
+        };
         assert_eq!(m.encoded_len(), 1 + 4 + (4 + 16) + (4 + 8));
-        let m = CoinMsg::Echo { points: vec![None, Some(vec![7])] };
+        let m = CoinMsg::Echo {
+            points: vec![None, Some(vec![7])],
+        };
         assert_eq!(m.encoded_len(), 1 + 4 + 1 + (1 + 4 + 8));
     }
 

@@ -1,0 +1,359 @@
+//! Scenario-layer registrations for the real coin substrates: every clock
+//! protocol over the pipelined GVSS **ticket** coin (the paper's full
+//! construction) or the weaker **XOR** coin, plus the standalone
+//! `coin-stream` scenario (§6.1's "stream of shared coins") with
+//! coin-quality metrics in the report extras.
+
+use crate::adversary::{CoinNoiseAdversary, InconsistentDealer, RecoverEquivocator};
+use crate::app::{coin_stats, CoinApp, CoinAppMsg};
+use crate::{
+    ticket_clock_sync, ticket_coin, ticket_four_clock, ticket_two_clock, xor_coin,
+    TicketCoinScheme, XorCoinScheme,
+};
+use byzclock_core::scenario::{
+    builder_for, clock_adversary, four_clock_extras, recursive_levels, AdversarySpec, ClockRun,
+    CoinSpec, ProtocolFamily, ProtocolRegistry, ScenarioError, ScenarioRun, ScenarioSpec,
+};
+use byzclock_core::{
+    CoinScheme, FourClock, PipelinedCoin, RecursiveClock, SharedFourClock, TwoClock,
+};
+use byzclock_sim::{Adversary, SilentAdversary, Simulation, TrafficStats};
+
+/// Registers every family this crate provides.
+pub fn register_protocols(registry: &mut ProtocolRegistry) {
+    registry
+        .register(Box::new(CoinTwoClockFamily))
+        .register(Box::new(CoinFourClockFamily))
+        .register(Box::new(SharedFourClockFamily))
+        .register(Box::new(CoinClockSyncFamily))
+        .register(Box::new(CoinRecursiveFamily))
+        .register(Box::new(CoinStreamFamily));
+}
+
+fn unsupported_coin(spec: &ScenarioSpec) -> ScenarioError {
+    ScenarioError::UnsupportedCoin {
+        protocol: spec.protocol.clone(),
+        coin: spec.coin.to_string(),
+    }
+}
+
+/// `ss-Byz-2-Clock` over a real pipelined coin.
+struct CoinTwoClockFamily;
+
+impl ProtocolFamily for CoinTwoClockFamily {
+    fn name(&self) -> &'static str {
+        "two-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ss-Byz-2-Clock over the pipelined GVSS ticket coin (or XOR coin)"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec).build(ticket_two_clock, adversary);
+                Ok(Box::new(ClockRun::new(sim)))
+            }
+            CoinSpec::Xor => {
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec)
+                    .build(|cfg, rng| TwoClock::new(cfg, xor_coin(cfg, rng)), adversary);
+                Ok(Box::new(ClockRun::new(sim)))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// `ss-Byz-4-Clock` over real coins, one pipeline per sub-clock (the
+/// paper's construction).
+struct CoinFourClockFamily;
+
+impl ProtocolFamily for CoinFourClockFamily {
+    fn name(&self) -> &'static str {
+        "four-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ss-Byz-4-Clock over two pipelined ticket (or XOR) coins; extras: a2_step_ratio"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec).build(ticket_four_clock, adversary);
+                Ok(Box::new(ClockRun::with_extras(
+                    sim,
+                    four_clock_extras::<PipelinedCoin<TicketCoinScheme>, _>,
+                )))
+            }
+            CoinSpec::Xor => {
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec).build(
+                    |cfg, rng| FourClock::new(cfg, xor_coin(cfg, rng), xor_coin(cfg, rng)),
+                    adversary,
+                );
+                Ok(Box::new(ClockRun::with_extras(
+                    sim,
+                    four_clock_extras::<PipelinedCoin<XorCoinScheme>, _>,
+                )))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// The Remark 4.1 variant: both sub-clocks share one coin pipeline.
+struct SharedFourClockFamily;
+
+impl ProtocolFamily for SharedFourClockFamily {
+    fn name(&self) -> &'static str {
+        "shared-four-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "Remark 4.1 ss-Byz-4-Clock sharing one ticket-coin pipeline"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec).build(
+                    |cfg, rng| SharedFourClock::new(cfg, ticket_coin(cfg, rng)),
+                    adversary,
+                );
+                Ok(Box::new(ClockRun::new(sim)))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// The paper's full stack: `ss-Byz-Clock-Sync` over three ticket-coin
+/// pipelines.
+struct CoinClockSyncFamily;
+
+impl ProtocolFamily for CoinClockSyncFamily {
+    fn name(&self) -> &'static str {
+        "clock-sync"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ss-Byz-Clock-Sync over three pipelined GVSS ticket coins (the full paper stack)"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let adversary = clock_adversary(spec, None)?;
+                let k = spec.clock_modulus;
+                let sim = builder_for(spec)
+                    .build(move |cfg, rng| ticket_clock_sync(cfg, k, rng), adversary);
+                Ok(Box::new(ClockRun::new(sim)))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// The §5 recursive chain over one ticket-coin pipeline per level.
+struct CoinRecursiveFamily;
+
+impl ProtocolFamily for CoinRecursiveFamily {
+    fn name(&self) -> &'static str {
+        "recursive"
+    }
+
+    fn describe(&self) -> &'static str {
+        "section 5 recursive-doubling clock over per-level ticket-coin pipelines"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let levels = recursive_levels(spec)?;
+                let adversary = clock_adversary(spec, None)?;
+                let sim = builder_for(spec).build(
+                    move |cfg, rng| {
+                        let mut level_rng = rng.clone();
+                        RecursiveClock::new(cfg, levels, move |_| ticket_coin(cfg, &mut level_rng))
+                    },
+                    adversary,
+                );
+                Ok(Box::new(ClockRun::new(sim)))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// §6.1's standalone tool: the pipelined coin as an application, reporting
+/// the empirical Definition 2.7 contract through the extras.
+struct CoinStreamFamily;
+
+impl ProtocolFamily for CoinStreamFamily {
+    fn name(&self) -> &'static str {
+        "coin-stream"
+    }
+
+    fn describe(&self) -> &'static str {
+        "standalone ss-Byz-Coin-Flip stream; extras: p0, p1, agreement_rate"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        match spec.coin {
+            CoinSpec::Ticket => {
+                let adversary = coin_adversary::<TicketCoinScheme>(spec, spec.n)?;
+                let sim = builder_for(spec).build(
+                    |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
+                    adversary,
+                );
+                Ok(Box::new(CoinStreamRun { sim }))
+            }
+            CoinSpec::Xor => {
+                let adversary = coin_adversary::<XorCoinScheme>(spec, 1)?;
+                let sim = builder_for(spec).build(
+                    |cfg, rng| CoinApp::new(XorCoinScheme::new(cfg), rng),
+                    adversary,
+                );
+                Ok(Box::new(CoinStreamRun { sim }))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
+/// Resolves the spec's adversary against the coin-round message type.
+/// `targets` is the per-dealer secret count of the attacked scheme (`n`
+/// for tickets, 1 for the XOR coin).
+fn coin_adversary<S>(
+    spec: &ScenarioSpec,
+    targets: usize,
+) -> Result<Box<dyn Adversary<CoinAppMsg<S>>>, ScenarioError>
+where
+    S: CoinScheme,
+    CoinNoiseAdversary: Adversary<CoinAppMsg<S>>,
+    InconsistentDealer: Adversary<CoinAppMsg<S>>,
+    RecoverEquivocator: Adversary<CoinAppMsg<S>>,
+{
+    Ok(match spec.adversary {
+        AdversarySpec::Silent => Box::new(SilentAdversary),
+        AdversarySpec::CoinNoise { depth } => Box::new(CoinNoiseAdversary { depth, targets }),
+        AdversarySpec::InconsistentDealer => Box::new(InconsistentDealer { targets, f: spec.f }),
+        AdversarySpec::RecoverEquivocator { slot } => Box::new(RecoverEquivocator {
+            recover_slot: slot,
+            targets,
+        }),
+        _ => {
+            return Err(ScenarioError::UnsupportedAdversary {
+                protocol: spec.protocol.clone(),
+                adversary: spec.adversary.to_string(),
+            })
+        }
+    })
+}
+
+/// [`ScenarioRun`] adapter for the coin stream: no clock, coin-quality
+/// metrics in the extras (warm-up `Δ_A` excluded, per Lemma 1).
+struct CoinStreamRun<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> {
+    sim: Simulation<CoinApp<S>, Adv>,
+}
+
+impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun<S, Adv> {
+    fn step(&mut self) {
+        self.sim.step();
+    }
+
+    fn beat(&self) -> u64 {
+        self.sim.beat()
+    }
+
+    fn modulus(&self) -> Option<u64> {
+        None
+    }
+
+    fn clock_readings(&self) -> Vec<Option<u64>> {
+        Vec::new()
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        self.sim.stats()
+    }
+
+    fn extras(&self) -> Vec<(String, f64)> {
+        let warmup = self.sim.correct_apps().next().map_or(4, |(_, a)| a.depth());
+        let stats = coin_stats(&self.sim, warmup);
+        vec![
+            ("p0".to_string(), stats.p0()),
+            ("p1".to_string(), stats.p1()),
+            ("agreement_rate".to_string(), stats.agreement_rate()),
+            ("measured_beats".to_string(), stats.beats as f64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ProtocolRegistry {
+        let mut r = ProtocolRegistry::new();
+        byzclock_core::scenario::register_protocols(&mut r);
+        register_protocols(&mut r);
+        r
+    }
+
+    #[test]
+    fn ticket_clock_sync_spec_runs() {
+        let spec = ScenarioSpec::parse(
+            "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start seed=2 budget=3000",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert!(report.converged_at.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn same_name_resolves_by_coin() {
+        // "two-clock" is registered by core (oracle) AND this crate
+        // (ticket): the coin field picks the implementation.
+        let oracle = ScenarioSpec::parse("two-clock n=4 f=1 coin=oracle budget=500").unwrap();
+        let ticket = ScenarioSpec::parse("two-clock n=4 f=1 coin=ticket budget=500").unwrap();
+        assert!(registry().run(&oracle).is_ok());
+        assert!(registry().run(&ticket).is_ok());
+    }
+
+    #[test]
+    fn coin_stream_reports_quality_extras() {
+        let spec = ScenarioSpec::parse(
+            "coin-stream n=4 f=1 coin=ticket adv=silent faults=none seed=11 budget=40",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert_eq!(report.beats, 40);
+        assert!(report.converged_at.is_none());
+        let agree = report.extra("agreement_rate").unwrap();
+        assert!(agree > 0.9, "{report:?}");
+        assert!(report.extra("p0").unwrap() > 0.3);
+    }
+
+    #[test]
+    fn coin_attacks_only_fit_the_coin_stream() {
+        let spec =
+            ScenarioSpec::parse("clock-sync n=4 f=1 coin=ticket adv=coin-noise:4 budget=100")
+                .unwrap();
+        match registry().run(&spec) {
+            Err(ScenarioError::UnsupportedAdversary { .. }) => {}
+            other => panic!("expected UnsupportedAdversary, got {other:?}"),
+        }
+        let stream = ScenarioSpec::parse(
+            "coin-stream n=4 f=1 coin=ticket adv=coin-noise:4 faults=none budget=40",
+        )
+        .unwrap();
+        assert!(registry().run(&stream).is_ok());
+    }
+}

@@ -31,7 +31,11 @@ pub struct TicketCoinProto {
 
 impl TicketCoinProto {
     fn new(cfg: NodeCfg) -> Self {
-        TicketCoinProto { cfg, gvss: GvssCore::new(cfg, cfg.n), output: false }
+        TicketCoinProto {
+            cfg,
+            gvss: GvssCore::new(cfg, cfg.n),
+            output: false,
+        }
     }
 
     /// The combined ticket values, one per node (None where every included
@@ -157,7 +161,10 @@ mod tests {
                 TicketCoinScheme::new(cfg).spawn(&mut rand::SeedableRng::seed_from_u64(0))
             });
             let first = outs[0];
-            assert!(outs.iter().all(|&b| b == first), "seed {seed}: disagreement");
+            assert!(
+                outs.iter().all(|&b| b == first),
+                "seed {seed}: disagreement"
+            );
         }
     }
 }

@@ -28,7 +28,11 @@ pub struct XorCoinProto {
 
 impl XorCoinProto {
     fn new(cfg: NodeCfg) -> Self {
-        XorCoinProto { cfg, gvss: GvssCore::new(cfg, 1), output: false }
+        XorCoinProto {
+            cfg,
+            gvss: GvssCore::new(cfg, 1),
+            output: false,
+        }
     }
 }
 
@@ -38,7 +42,9 @@ impl RoundProtocol for XorCoinProto {
 
     fn send_round(&mut self, round: usize, rng: &mut SimRng, out: &mut Vec<(Target, CoinMsg)>) {
         match round {
-            0 => self.gvss.send_share(rng, |r| u64::from(r.random::<bool>()), out),
+            0 => self
+                .gvss
+                .send_share(rng, |r| u64::from(r.random::<bool>()), out),
             1 => self.gvss.send_echo(out),
             2 => self.gvss.send_vote(out),
             3 => self.gvss.send_recover(out),
@@ -116,6 +122,9 @@ mod tests {
             assert!(outs.iter().all(|&b| b == first), "honest nodes disagreed");
             ones += usize::from(first);
         }
-        assert!((12..=48).contains(&ones), "XOR coin badly unfair: {ones}/60");
+        assert!(
+            (12..=48).contains(&ones),
+            "XOR coin badly unfair: {ones}/60"
+        );
     }
 }

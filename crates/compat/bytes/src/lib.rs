@@ -1,0 +1,121 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace only uses `BytesMut` as an append-only encode buffer for
+//! [`Wire`-style] message-size accounting, so this vendored subset is a
+//! thin wrapper over `Vec<u8>` exposing the `BufMut` put-methods the
+//! encoders call. Swap back to crates.io `bytes` by deleting
+//! `crates/compat/bytes` and repointing the manifests.
+
+#![forbid(unsafe_code)]
+
+/// Append-style byte sink (big-endian puts, like the real `BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable byte buffer (the mutable half of the real crate's API that
+/// the encoders use).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with preallocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Discards the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puts_are_big_endian_and_append() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_u64(0x0809_0A0B_0C0D_0E0F);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8);
+        assert_eq!(&b[..3], &[1, 2, 3]);
+        assert_eq!(b.as_slice()[3..7], [4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u64(9);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

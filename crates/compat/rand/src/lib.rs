@@ -1,0 +1,211 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the thin slice of `rand` it actually uses: a seedable,
+//! deterministic [`rngs::StdRng`], the [`Rng`]/[`SeedableRng`] traits, and
+//! uniform sampling for the primitive types and ranges the protocols draw
+//! from. Everything is deterministic and portable: the generator is
+//! xoshiro256** seeded through SplitMix64, so runs replay bit-identically
+//! across platforms (which is all the simulator requires — it never needs
+//! cryptographic randomness).
+//!
+//! To switch back to the real crate, delete `crates/compat/rand` and point
+//! the workspace manifests at crates.io; the API subset used here is
+//! call-compatible.
+
+#![forbid(unsafe_code)]
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample of type `T` (`bool`, unsigned ints, or `f64` in
+    /// `[0, 1)`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types with a canonical uniform distribution.
+pub trait StandardUniform: Sized {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl StandardUniform for $ty {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges whose elements are `T`, sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one element.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + (rng.next_u64() % (span + 1)) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (the workspace's stand-in for
+    /// `rand::rngs::StdRng`). Not cryptographically secure — the simulator
+    /// only needs replayable, well-mixed streams.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0u16..=4);
+            assert!(y <= 4);
+            let z: f64 = rng.random();
+            assert!((0.0..1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bool_and_bits_are_mixed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bools: Vec<bool> = (0..64).map(|_| rng.random()).collect();
+        assert!(bools.iter().any(|&b| b) && bools.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn clone_replays() {
+        let mut a = StdRng::seed_from_u64(5);
+        let _ = a.random::<u64>();
+        let mut b = a.clone();
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+}

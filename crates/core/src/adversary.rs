@@ -139,7 +139,11 @@ impl<M: VoteMessage> Adversary<M> for EquivocatingAdversary {
     fn act(&mut self, view: &AdversaryView<'_, M>, out: &mut ByzOutbox<'_, M>) {
         for &b in view.byzantine() {
             for to in view.all_ids() {
-                let value = if to.raw() % 2 == 0 { Trit::Zero } else { Trit::One };
+                let value = if to.raw() % 2 == 0 {
+                    Trit::Zero
+                } else {
+                    Trit::One
+                };
                 if let Some(msg) = M::make_vote(view.phase(), value) {
                     out.send(b, to, msg);
                 }
@@ -234,7 +238,10 @@ impl<M: VoteMessage> Adversary<M> for RandAwareSplitter {
         let target = if w_count + f >= quorum { w } else { maj };
         // How many nodes to let cross: enough to matter, few enough to
         // keep the crossing camp a minority next beat.
-        let cross_target = g.saturating_sub(quorum.saturating_sub(f)).max(1).min((g / 2).max(1));
+        let cross_target = g
+            .saturating_sub(quorum.saturating_sub(f))
+            .max(1)
+            .min((g / 2).max(1));
         for &b in view.byzantine() {
             for (idx, to) in view.all_ids().enumerate() {
                 let value = if idx < cross_target {
@@ -259,7 +266,9 @@ mod tests {
     use crate::DigitalClock;
     use byzclock_sim::SimBuilder;
 
-    fn converge_beats<A>(mut sim: byzclock_sim::Simulation<A, impl Adversary<A::Msg>>) -> Option<u64>
+    fn converge_beats<A>(
+        mut sim: byzclock_sim::Simulation<A, impl Adversary<A::Msg>>,
+    ) -> Option<u64>
     where
         A: byzclock_sim::Application + DigitalClock,
     {

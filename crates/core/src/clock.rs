@@ -55,7 +55,12 @@ impl SyncTracker {
     /// Panics if `k == 0`.
     pub fn new(k: u64) -> Self {
         assert!(k >= 1, "clock modulus must be at least 1");
-        SyncTracker { k, beats_seen: 0, prev: None, streak_start: None }
+        SyncTracker {
+            k,
+            beats_seen: 0,
+            prev: None,
+            streak_start: None,
+        }
     }
 
     /// Records the post-beat system state: `Some(v)` if all correct nodes
@@ -94,7 +99,7 @@ impl SyncTracker {
 
 /// `true` iff every reading is definite and all are equal — Definition 3.1
 /// ("the system is clock-synched at beat r").
-pub fn all_synced<'a, I>(readings: I) -> Option<u64>
+pub fn all_synced<I>(readings: I) -> Option<u64>
 where
     I: IntoIterator<Item = Option<u64>>,
 {

@@ -20,8 +20,8 @@ use crate::clock::DigitalClock;
 use crate::four_clock::{FourClock, FourClockMsg};
 use crate::rand_source::RandSource;
 use crate::trit::dedup_by_sender;
-use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
 use bytes::BytesMut;
+use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
 use rand::Rng;
 
 /// Messages of `ss-Byz-Clock-Sync`.
@@ -151,7 +151,10 @@ impl<R: RandSource> ClockSync<R> {
                 None => counts.push((v, 1)),
             }
         }
-        counts.into_iter().find(|&(_, c)| c >= quorum).map(|(v, _)| v)
+        counts
+            .into_iter()
+            .find(|&(_, c)| c >= quorum)
+            .map(|(v, _)| v)
     }
 
     /// Block (c): `(save, bit)` from the previous beat's proposes. `save`
@@ -171,8 +174,7 @@ impl<R: RandSource> ClockSync<R> {
         }
         let best = counts
             .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .map(|(v, c)| (v, c));
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
         match best {
             Some((v, c)) => (Some(v), c >= quorum),
             None => (None, false),
@@ -251,9 +253,11 @@ impl<R: RandSource> Application for ClockSync<R> {
                 let sub: Vec<Envelope<FourClockMsg<R::Msg>>> = inbox
                     .iter()
                     .filter_map(|e| match &e.msg {
-                        ClockSyncMsg::Four(m) => {
-                            Some(Envelope { from: e.from, to: e.to, msg: m.clone() })
-                        }
+                        ClockSyncMsg::Four(m) => Some(Envelope {
+                            from: e.from,
+                            to: e.to,
+                            msg: m.clone(),
+                        }),
                         _ => None,
                     })
                     .collect();
@@ -295,11 +299,10 @@ impl<R: RandSource> Application for ClockSync<R> {
                     ClockSyncMsg::Full(v) => Some((e.from, *v)),
                     _ => None,
                 }));
-                self.prev_proposes =
-                    dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
-                        ClockSyncMsg::Propose(p) => Some((e.from, *p)),
-                        _ => None,
-                    }));
+                self.prev_proposes = dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
+                    ClockSyncMsg::Propose(p) => Some((e.from, *p)),
+                    _ => None,
+                }));
                 self.prev_bits = dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
                     ClockSyncMsg::BitVote(b) => Some((e.from, *b)),
                     _ => None,
@@ -314,7 +317,11 @@ impl<R: RandSource> Application for ClockSync<R> {
         self.rand_source.corrupt(rng);
         self.full_clock = rng.random();
         self.save = rng.random();
-        self.block = if rng.random() { Some(rng.random_range(0..8)) } else { None };
+        self.block = if rng.random() {
+            Some(rng.random_range(0..8))
+        } else {
+            None
+        };
         self.last_rand = rng.random();
         let garbage = |rng: &mut SimRng, n: usize| -> Vec<(NodeId, u64)> {
             (0..rng.random_range(0..=n))
@@ -327,8 +334,10 @@ impl<R: RandSource> Application for ClockSync<R> {
             .into_iter()
             .map(|(id, v)| (id, if v % 2 == 0 { None } else { Some(v) }))
             .collect();
-        self.prev_bits =
-            garbage(rng, n).into_iter().map(|(id, v)| (id, v % 2 == 0)).collect();
+        self.prev_bits = garbage(rng, n)
+            .into_iter()
+            .map(|(id, v)| (id, v % 2 == 0))
+            .collect();
     }
 }
 
@@ -399,7 +408,10 @@ mod tests {
                 }
             }
             let mean = total as f64 / 6.0;
-            assert!(mean < 200.0, "k={k}: mean convergence {mean} beats looks wrong");
+            assert!(
+                mean < 200.0,
+                "k={k}: mean convergence {mean} beats looks wrong"
+            );
         }
     }
 
@@ -436,7 +448,10 @@ mod tests {
             let mut dedup = proposes.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            assert!(dedup.len() <= 1, "two distinct correct proposes: {proposes:?}");
+            assert!(
+                dedup.len() <= 1,
+                "two distinct correct proposes: {proposes:?}"
+            );
         }
     }
 

@@ -18,8 +18,8 @@ use crate::clock::DigitalClock;
 use crate::rand_source::RandSource;
 use crate::trit::{dedup_by_sender, Trit};
 use crate::two_clock::{TwoClock, TwoClockCore, TwoClockMsg};
-use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
 use bytes::BytesMut;
+use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
 use rand::Rng;
 
 /// Messages of `ss-Byz-4-Clock`: tagged traffic of the two sub-clocks.
@@ -59,9 +59,11 @@ fn sub_inbox<M: Clone>(
     inbox
         .iter()
         .filter_map(|e| match (&e.msg, want_a1) {
-            (FourClockMsg::A1(m), true) | (FourClockMsg::A2(m), false) => {
-                Some(Envelope { from: e.from, to: e.to, msg: m.clone() })
-            }
+            (FourClockMsg::A1(m), true) | (FourClockMsg::A2(m), false) => Some(Envelope {
+                from: e.from,
+                to: e.to,
+                msg: m.clone(),
+            }),
             _ => None,
         })
         .collect()
@@ -133,11 +135,9 @@ impl<R: RandSource> FourClock<R> {
                 self.a1.step_send(rng, &mut sub);
                 out.extend(sub.into_iter().map(|(t, m)| (t, FourClockMsg::A1(m))));
             }
-            1 => {
-                if self.gate_a2 {
-                    self.a2.step_send(rng, &mut sub);
-                    out.extend(sub.into_iter().map(|(t, m)| (t, FourClockMsg::A2(m))));
-                }
+            1 if self.gate_a2 => {
+                self.a2.step_send(rng, &mut sub);
+                out.extend(sub.into_iter().map(|(t, m)| (t, FourClockMsg::A2(m))));
             }
             _ => {}
         }
@@ -161,11 +161,9 @@ impl<R: RandSource> FourClock<R> {
                     self.a2_steps += 1;
                 }
             }
-            1 => {
-                if self.gate_a2 {
-                    let a2_inbox = sub_inbox(inbox, false);
-                    self.a2.step_deliver(&a2_inbox, rng);
-                }
+            1 if self.gate_a2 => {
+                let a2_inbox = sub_inbox(inbox, false);
+                self.a2.step_deliver(&a2_inbox, rng);
             }
             _ => {}
         }
@@ -317,10 +315,8 @@ impl<R: RandSource> Application for SharedFourClock<R> {
                     }
                 }
             }
-            1 => {
-                if self.gate_a2 {
-                    out.broadcast(SharedFourClockMsg::A2Vote(self.core2.vote()));
-                }
+            1 if self.gate_a2 => {
+                out.broadcast(SharedFourClockMsg::A2Vote(self.core2.vote()));
             }
             _ => {}
         }
@@ -344,15 +340,13 @@ impl<R: RandSource> Application for SharedFourClock<R> {
                 self.core1.apply(&votes, self.rand_this_beat);
                 self.gate_a2 = self.core1.clock() == Trit::Zero;
             }
-            1 => {
-                if self.gate_a2 {
-                    let votes = dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
-                        SharedFourClockMsg::A2Vote(t) => Some((e.from, *t)),
-                        _ => None,
-                    }));
-                    // The same beat's bit is reused — Remark 4.1.
-                    self.core2.apply(&votes, self.rand_this_beat);
-                }
+            1 if self.gate_a2 => {
+                let votes = dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
+                    SharedFourClockMsg::A2Vote(t) => Some((e.from, *t)),
+                    _ => None,
+                }));
+                // The same beat's bit is reused — Remark 4.1.
+                self.core2.apply(&votes, self.rand_this_beat);
             }
             _ => {}
         }
@@ -409,7 +403,10 @@ mod tests {
             }
         }
         let mean = total as f64 / 10.0;
-        assert!(mean < 40.0, "expected-constant convergence looks broken: mean {mean}");
+        assert!(
+            mean < 40.0,
+            "expected-constant convergence looks broken: mean {mean}"
+        );
     }
 
     /// After stabilization A2 executes every other beat.
@@ -446,7 +443,10 @@ mod tests {
             let t = sim.run_until(400, |s| {
                 all_synced(s.correct_apps().map(|(_, a)| a.read())).is_some()
             });
-            assert!(t.is_some(), "shared 4-clock failed to converge (seed {seed})");
+            assert!(
+                t.is_some(),
+                "shared 4-clock failed to converge (seed {seed})"
+            );
             let v0 = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
             for i in 1..=8 {
                 sim.step();

@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod scenario;
+
 mod clock;
 mod clock_sync;
 mod four_clock;
@@ -53,9 +55,7 @@ pub use clock::{all_synced, run_until_stable_sync, DigitalClock, SyncTracker};
 pub use clock_sync::{ClockSync, ClockSyncMsg};
 pub use four_clock::{FourClock, FourClockMsg, SharedFourClock, SharedFourClockMsg};
 pub use pipeline::{Pipeline, SlotMsg};
-pub use rand_source::{
-    LocalRand, OracleBeacon, OracleDraw, OracleRand, PipelinedCoin, RandSource,
-};
+pub use rand_source::{LocalRand, OracleBeacon, OracleDraw, OracleRand, PipelinedCoin, RandSource};
 pub use recursive::{LevelMsg, RecursiveClock};
 pub use round::{CoinScheme, RoundProtocol};
 pub use trit::{dedup_by_sender, majority_literal, majority_with_rand, MajorityCount, Trit};

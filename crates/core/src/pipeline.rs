@@ -21,8 +21,8 @@
 //! inner protocol.
 
 use crate::round::RoundProtocol;
-use byzclock_sim::{NodeId, SimRng, Target, Wire};
 use bytes::BytesMut;
+use byzclock_sim::{NodeId, SimRng, Target, Wire};
 use std::collections::VecDeque;
 
 /// A pipelined instance's message, tagged with the slot (= round) index it
@@ -64,7 +64,9 @@ impl<P: RoundProtocol> Pipeline<P> {
     pub fn new(rounds: usize, mut spawn: impl FnMut() -> P) -> Self {
         assert!(rounds >= 1, "a pipeline needs at least one slot");
         assert!(rounds <= 255, "slot tags are u8");
-        Pipeline { slots: (0..rounds).map(|_| spawn()).collect() }
+        Pipeline {
+            slots: (0..rounds).map(|_| spawn()).collect(),
+        }
     }
 
     /// Pipeline depth `Δ`.
@@ -156,7 +158,10 @@ mod tests {
 
     #[test]
     fn slots_execute_their_own_round_index() {
-        let scheme = XorTestScheme { rounds: 4, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 4,
+            quorum: 1,
+        };
         let mut rng = rng();
         let mut p = pipeline(&scheme, &mut rng);
         let mut out = Vec::new();
@@ -171,7 +176,10 @@ mod tests {
 
     #[test]
     fn an_instance_advances_one_round_per_beat() {
-        let scheme = XorTestScheme { rounds: 3, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 3,
+            quorum: 1,
+        };
         let mut rng = rng();
         let mut p = pipeline(&scheme, &mut rng);
         for _ in 0..2 {
@@ -191,14 +199,23 @@ mod tests {
 
     #[test]
     fn duplicate_and_garbage_slots_are_dropped() {
-        let scheme = XorTestScheme { rounds: 2, quorum: 4 };
+        let scheme = XorTestScheme {
+            rounds: 2,
+            quorum: 4,
+        };
         let mut rng = rng();
         let mut p = pipeline(&scheme, &mut rng);
         let a = NodeId::new(0);
         let inbox = vec![
             (a, SlotMsg { slot: 1, msg: true }),
-            (a, SlotMsg { slot: 1, msg: false }), // duplicate from same sender
-            (a, SlotMsg { slot: 9, msg: true }),  // out-of-range tag
+            (
+                a,
+                SlotMsg {
+                    slot: 1,
+                    msg: false,
+                },
+            ), // duplicate from same sender
+            (a, SlotMsg { slot: 9, msg: true }), // out-of-range tag
         ];
         // quorum 4 XOR over at most 1 accepted message => acc = true.
         let out = p.deliver(&inbox, &mut rng, |r, _| scheme.spawn(r));
@@ -207,14 +224,23 @@ mod tests {
 
     #[test]
     fn output_comes_from_the_retiring_slot() {
-        let scheme = XorTestScheme { rounds: 2, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 2,
+            quorum: 1,
+        };
         let mut rng = rng();
         let mut p = pipeline(&scheme, &mut rng);
         let sender = NodeId::new(3);
         // Feed slot 1 (the retiring one) a deterministic bit.
         let inbox = vec![
             (sender, SlotMsg { slot: 1, msg: true }),
-            (sender, SlotMsg { slot: 0, msg: false }),
+            (
+                sender,
+                SlotMsg {
+                    slot: 0,
+                    msg: false,
+                },
+            ),
         ];
         let out = p.deliver(&inbox, &mut rng, |r, _| scheme.spawn(r));
         assert!(out, "slot 1 received `true` and XOR over quorum 1 is true");
@@ -223,7 +249,10 @@ mod tests {
     #[test]
     fn corruption_heals_within_depth_beats() {
         // Lemma 1: after Δ beats every slot holds a fresh instance.
-        let scheme = XorTestScheme { rounds: 3, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 3,
+            quorum: 1,
+        };
         let mut rng = rng();
         let mut p = pipeline(&scheme, &mut rng);
         p.corrupt(&mut rng);
@@ -243,7 +272,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one slot")]
     fn zero_depth_rejected() {
-        let scheme = XorTestScheme { rounds: 1, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 1,
+            quorum: 1,
+        };
         let mut rng = rng();
         let _ = Pipeline::new(0, || scheme.spawn(&mut rng));
     }

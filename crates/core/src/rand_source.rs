@@ -17,10 +17,9 @@
 use crate::pipeline::{Pipeline, SlotMsg};
 use crate::round::{CoinScheme, RoundProtocol};
 use byzclock_sim::{NodeId, SimRng, Target, Wire};
-use parking_lot::Mutex;
 use rand::Rng;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A source of one (ideally common) random bit per beat.
 ///
@@ -75,7 +74,8 @@ impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
 
     fn deliver(&mut self, inbox: &[(NodeId, Self::Msg)], rng: &mut SimRng) -> bool {
         let scheme = self.scheme.clone();
-        self.pipeline.deliver(inbox, rng, move |r, _| scheme.spawn(r))
+        self.pipeline
+            .deliver(inbox, rng, move |r, _| scheme.spawn(r))
     }
 
     fn corrupt(&mut self, rng: &mut SimRng) {
@@ -175,8 +175,10 @@ impl OracleBeacon {
     ///
     /// Panics if the probabilities are out of range.
     pub fn new(p0: f64, p1: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p0) && (0.0..=1.0).contains(&p1) && p0 + p1 <= 1.0 + 1e-12,
-            "invalid probabilities p0={p0} p1={p1}");
+        assert!(
+            (0.0..=1.0).contains(&p0) && (0.0..=1.0).contains(&p1) && p0 + p1 <= 1.0 + 1e-12,
+            "invalid probabilities p0={p0} p1={p1}"
+        );
         use rand::SeedableRng;
         OracleBeacon {
             state: Arc::new(Mutex::new(OracleState {
@@ -196,7 +198,11 @@ impl OracleBeacon {
 
     /// A node-side [`RandSource`] view of this beacon.
     pub fn source(&self, id: NodeId) -> OracleRand {
-        OracleRand { beacon: self.clone(), id, cursor: 0 }
+        OracleRand {
+            beacon: self.clone(),
+            id,
+            cursor: 0,
+        }
     }
 
     /// The draw for beat-index `idx` (generating it if needed). Available
@@ -204,14 +210,14 @@ impl OracleBeacon {
     /// adversary gets from observing recover-round shares. Peeking does not
     /// advance the nodes' shared high-water mark.
     pub fn peek(&self, idx: usize) -> OracleDraw {
-        self.state.lock().ensure(idx)
+        self.state.lock().expect("beacon lock poisoned").ensure(idx)
     }
 
     /// The bit node `id` would observe for draw index `idx`.
     pub fn bit_for(&self, idx: usize, id: NodeId) -> bool {
         match self.peek(idx) {
             OracleDraw::Common(b) => b,
-            OracleDraw::Split => id.raw() % 2 == 0,
+            OracleDraw::Split => id.raw().is_multiple_of(2),
         }
     }
 }
@@ -236,12 +242,22 @@ impl RandSource for OracleRand {
         // node) rejoins the common stream within one step rather than
         // staying offset forever. `high_water - 1` is the index the
         // current beat's first reader drew.
-        let hw = self.beacon.state.lock().high_water;
+        let hw = self
+            .beacon
+            .state
+            .lock()
+            .expect("beacon lock poisoned")
+            .high_water;
         self.cursor = self.cursor.max(hw.saturating_sub(1));
-        let draw = self.beacon.state.lock().draw_at(self.cursor);
+        let draw = self
+            .beacon
+            .state
+            .lock()
+            .expect("beacon lock poisoned")
+            .draw_at(self.cursor);
         let bit = match draw {
             OracleDraw::Common(b) => b,
-            OracleDraw::Split => self.id.raw() % 2 == 0,
+            OracleDraw::Split => self.id.raw().is_multiple_of(2),
         };
         self.cursor += 1;
         bit
@@ -251,7 +267,12 @@ impl RandSource for OracleRand {
         // The oracle models an *already stabilized* coin pipeline, so a
         // corrupted node resynchronizes to the schedule immediately: its
         // cursor jumps to the global high-water mark.
-        self.cursor = self.beacon.state.lock().high_water;
+        self.cursor = self
+            .beacon
+            .state
+            .lock()
+            .expect("beacon lock poisoned")
+            .high_water;
     }
 }
 
@@ -287,7 +308,10 @@ mod tests {
             assert_eq!(x, y, "perfect beacon must agree");
             ones += usize::from(x);
         }
-        assert!((40..=160).contains(&ones), "wildly unfair beacon: {ones}/200");
+        assert!(
+            (40..=160).contains(&ones),
+            "wildly unfair beacon: {ones}/200"
+        );
     }
 
     #[test]
@@ -323,7 +347,7 @@ mod tests {
             let bit = src.deliver(&[], &mut r);
             match draw {
                 OracleDraw::Common(b) => assert_eq!(bit, b, "draw {i}"),
-                OracleDraw::Split => assert_eq!(bit, true, "node 2 is even parity"),
+                OracleDraw::Split => assert!(bit, "node 2 is even parity"),
             }
         }
     }
@@ -336,7 +360,10 @@ mod tests {
 
     #[test]
     fn pipelined_coin_has_scheme_depth() {
-        let scheme = XorTestScheme { rounds: 4, quorum: 1 };
+        let scheme = XorTestScheme {
+            rounds: 4,
+            quorum: 1,
+        };
         let mut r = rng();
         let coin = PipelinedCoin::new(scheme, &mut r);
         assert_eq!(coin.depth(), 4);

@@ -16,8 +16,8 @@ use crate::clock::DigitalClock;
 use crate::rand_source::RandSource;
 use crate::trit::Trit;
 use crate::two_clock::{TwoClock, TwoClockMsg};
-use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Target, Wire};
 use bytes::BytesMut;
+use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Target, Wire};
 use rand::Rng;
 
 /// A message of one level of the chain.
@@ -55,14 +55,12 @@ impl<R: RandSource> RecursiveClock<R> {
     /// # Panics
     ///
     /// Panics if `levels == 0` or `levels > 63`.
-    pub fn new(
-        cfg: NodeCfg,
-        levels: usize,
-        mut make_rand: impl FnMut(usize) -> R,
-    ) -> Self {
+    pub fn new(cfg: NodeCfg, levels: usize, mut make_rand: impl FnMut(usize) -> R) -> Self {
         assert!((1..=63).contains(&levels), "levels must be in 1..=63");
         RecursiveClock {
-            levels: (0..levels).map(|j| TwoClock::new(cfg, make_rand(j))).collect(),
+            levels: (0..levels)
+                .map(|j| TwoClock::new(cfg, make_rand(j)))
+                .collect(),
             zero_chain: true,
             gated_this_beat: vec![false; levels],
         }
@@ -114,7 +112,10 @@ impl<R: RandSource> Application for RecursiveClock<R> {
             let mut sends = Vec::new();
             self.levels[phase].step_send(out.rng(), &mut sends);
             for (t, m) in sends {
-                let msg = LevelMsg { level: phase as u8, msg: m };
+                let msg = LevelMsg {
+                    level: phase as u8,
+                    msg: m,
+                };
                 match t {
                     Target::All => out.broadcast(msg),
                     Target::One(to) => out.unicast(to, msg),
@@ -130,12 +131,11 @@ impl<R: RandSource> Application for RecursiveClock<R> {
         if self.gated_this_beat[phase] {
             let sub: Vec<Envelope<TwoClockMsg<R::Msg>>> = inbox
                 .iter()
-                .filter_map(|e| {
-                    (usize::from(e.msg.level) == phase).then(|| Envelope {
-                        from: e.from,
-                        to: e.to,
-                        msg: e.msg.msg.clone(),
-                    })
+                .filter(|&e| usize::from(e.msg.level) == phase)
+                .map(|e| Envelope {
+                    from: e.from,
+                    to: e.to,
+                    msg: e.msg.msg.clone(),
                 })
                 .collect();
             self.levels[phase].step_deliver(&sub, rng);
@@ -169,8 +169,9 @@ mod tests {
         levels: usize,
         seed: u64,
     ) -> Simulation<RecursiveClock<OracleRand>, SilentAdversary> {
-        let beacons: Vec<OracleBeacon> =
-            (0..levels).map(|j| OracleBeacon::perfect(seed.wrapping_add(j as u64 * 31))).collect();
+        let beacons: Vec<OracleBeacon> = (0..levels)
+            .map(|j| OracleBeacon::perfect(seed.wrapping_add(j as u64 * 31)))
+            .collect();
         SimBuilder::new(n, f).seed(seed).build(
             move |cfg, _rng| {
                 let beacons = beacons.clone();
@@ -189,7 +190,8 @@ mod tests {
     #[test]
     fn two_levels_behave_like_four_clock() {
         let mut sim = rec_sim(7, 2, 2, 5);
-        sim.run_until(500, |s| synced(s).is_some()).expect("must converge");
+        sim.run_until(500, |s| synced(s).is_some())
+            .expect("must converge");
         let v0 = synced(&sim).unwrap();
         for i in 1..=8 {
             sim.step();
@@ -202,7 +204,8 @@ mod tests {
     #[test]
     fn three_levels_count_mod_8() {
         let mut sim = rec_sim(7, 2, 3, 8);
-        sim.run_until(1500, |s| synced(s).is_some()).expect("must converge");
+        sim.run_until(1500, |s| synced(s).is_some())
+            .expect("must converge");
         let v0 = synced(&sim).unwrap();
         for i in 1..=16 {
             sim.step();

@@ -20,12 +20,7 @@ pub trait RoundProtocol {
     type Output;
 
     /// Emit the messages of round `round` (0-based).
-    fn send_round(
-        &mut self,
-        round: usize,
-        rng: &mut SimRng,
-        out: &mut Vec<(Target, Self::Msg)>,
-    );
+    fn send_round(&mut self, round: usize, rng: &mut SimRng, out: &mut Vec<(Target, Self::Msg)>);
 
     /// Process the messages received in round `round`. `inbox` holds at
     /// most one message per sender (the pipeline deduplicates).
@@ -85,19 +80,17 @@ pub(crate) mod testutil {
         type Msg = bool;
         type Output = bool;
 
-        fn send_round(
-            &mut self,
-            round: usize,
-            _rng: &mut SimRng,
-            out: &mut Vec<(Target, bool)>,
-        ) {
+        fn send_round(&mut self, round: usize, _rng: &mut SimRng, out: &mut Vec<(Target, bool)>) {
             self.sent_rounds.push(round);
             out.push((Target::All, self.my_bit));
         }
 
         fn recv_round(&mut self, round: usize, inbox: &[(NodeId, bool)], _rng: &mut SimRng) {
             self.recv_rounds.push(round);
-            self.acc = inbox.iter().take(self.quorum).fold(false, |acc, &(_, b)| acc ^ b);
+            self.acc = inbox
+                .iter()
+                .take(self.quorum)
+                .fold(false, |acc, &(_, b)| acc ^ b);
         }
 
         fn output(&self) -> bool {

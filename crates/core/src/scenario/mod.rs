@@ -1,0 +1,42 @@
+//! The declarative scenario layer: one entry point for every protocol ×
+//! adversary × fault-plan run in the reproduction.
+//!
+//! Every experiment in this workspace is a point on the same grid: *which
+//! protocol* (Figures 1–4, §5, or a Table 1 baseline), over *which coin*,
+//! against *which adversary*, under *which fault plan*, with a seed and a
+//! beat budget. [`ScenarioSpec`] names such a point as plain serializable
+//! data; a [`ProtocolRegistry`] resolves the spec's protocol name to a
+//! [`ProtocolFamily`] and hands back a type-erased [`ScenarioRun`]; and
+//! [`ProtocolRegistry::run`] drives that to a deterministic [`RunReport`]
+//! with convergence beat, sync quality, and traffic totals.
+//!
+//! This crate registers the oracle-/local-coin families
+//! ([`register_protocols`]); `byzclock-coin` and `byzclock-baselines`
+//! register theirs, and the umbrella `byzclock` crate assembles the full
+//! default registry:
+//!
+//! ```
+//! use byzclock_core::scenario::{ProtocolRegistry, ScenarioSpec, CoinSpec};
+//!
+//! let mut registry = ProtocolRegistry::new();
+//! byzclock_core::scenario::register_protocols(&mut registry);
+//!
+//! let spec = ScenarioSpec::parse("two-clock n=7 f=2 coin=oracle seed=7 budget=2000").unwrap();
+//! let report = registry.run(&spec).unwrap();
+//! assert!(report.converged_at.is_some());
+//! assert_eq!(report, registry.run(&spec).unwrap()); // same spec => same report
+//! ```
+
+mod families;
+mod registry;
+mod run;
+mod spec;
+
+pub use families::{
+    builder_for, clock_adversary, four_clock_extras, recursive_levels, register_protocols,
+};
+pub use registry::{ProtocolFamily, ProtocolRegistry, ScenarioError};
+pub use run::{
+    drive, drive_exact, ClockRun, RunReport, ScenarioRun, TrafficSummary, DEFAULT_SYNC_WINDOW,
+};
+pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, ScenarioSpec};

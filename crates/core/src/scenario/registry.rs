@@ -1,0 +1,203 @@
+//! Protocol families and the name → family registry.
+
+use super::run::{drive, RunReport, ScenarioRun};
+use super::spec::ScenarioSpec;
+use std::fmt;
+
+/// Everything that can go wrong between a [`ScenarioSpec`] and a running
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The spec's protocol name is not registered.
+    UnknownProtocol {
+        /// The requested name.
+        name: String,
+        /// Every registered name, for the error message.
+        known: Vec<String>,
+    },
+    /// No registered family for this protocol supports the requested coin.
+    UnsupportedCoin {
+        /// The protocol name.
+        protocol: String,
+        /// The requested coin, rendered.
+        coin: String,
+    },
+    /// The protocol's message type cannot host the requested adversary.
+    UnsupportedAdversary {
+        /// The protocol name.
+        protocol: String,
+        /// The requested adversary, rendered.
+        adversary: String,
+    },
+    /// The spec is structurally invalid (bad `n`/`f`/`k`/placement).
+    InvalidSpec(String),
+    /// The spec line could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownProtocol { name, known } => {
+                write!(
+                    f,
+                    "unknown protocol `{name}`; registered: {}",
+                    known.join(", ")
+                )
+            }
+            ScenarioError::UnsupportedCoin { protocol, coin } => {
+                write!(
+                    f,
+                    "protocol `{protocol}` has no implementation over coin `{coin}`"
+                )
+            }
+            ScenarioError::UnsupportedAdversary {
+                protocol,
+                adversary,
+            } => {
+                write!(
+                    f,
+                    "protocol `{protocol}` cannot host adversary `{adversary}`"
+                )
+            }
+            ScenarioError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            ScenarioError::Parse(msg) => write!(f, "scenario spec parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One named protocol implementation: turns a matching [`ScenarioSpec`]
+/// into a type-erased running simulation.
+///
+/// Several families may share a name (e.g. `two-clock` is registered once
+/// by the oracle/local layer in this crate and once by the ticket-coin
+/// layer in `byzclock-coin`); the registry tries them in registration
+/// order and the first whose coin/adversary combination matches wins.
+///
+/// Families must be `Send + Sync` so one registry can serve Monte-Carlo
+/// trials from many threads; they are resolvers, not running state.
+pub trait ProtocolFamily: Send + Sync {
+    /// The registry name (`two-clock`, `clock-sync`, `dw-clock`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for catalogs and error messages.
+    fn describe(&self) -> &'static str;
+
+    /// Builds the erased simulation for `spec`, or explains why this
+    /// family cannot serve it.
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError>;
+}
+
+/// The name → [`ProtocolFamily`] table every scenario run resolves
+/// through.
+#[derive(Default)]
+pub struct ProtocolRegistry {
+    families: Vec<Box<dyn ProtocolFamily>>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry. Most callers want
+    /// `byzclock::scenario::default_registry()` instead, which has every
+    /// workspace protocol pre-registered.
+    pub fn new() -> Self {
+        ProtocolRegistry::default()
+    }
+
+    /// Registers a family (later registrations are tried after earlier
+    /// ones sharing the same name).
+    pub fn register(&mut self, family: Box<dyn ProtocolFamily>) -> &mut Self {
+        self.families.push(family);
+        self
+    }
+
+    /// All registered protocol names, deduplicated, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for f in &self.families {
+            if !names.iter().any(|n| n == f.name()) {
+                names.push(f.name().to_string());
+            }
+        }
+        names
+    }
+
+    /// `(name, description)` for every registered family.
+    pub fn catalog(&self) -> Vec<(String, String)> {
+        self.families
+            .iter()
+            .map(|f| (f.name().to_string(), f.describe().to_string()))
+            .collect()
+    }
+
+    /// Resolves `spec` and builds the erased simulation without driving
+    /// it — for callers that need custom beat-by-beat control (the
+    /// examples' live traces, post-convergence probes).
+    pub fn start(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        spec.validate()?;
+        let mut fallback: Option<ScenarioError> = None;
+        let mut saw_name = false;
+        for family in &self.families {
+            if family.name() != spec.protocol {
+                continue;
+            }
+            saw_name = true;
+            match family.spawn(spec) {
+                Ok(run) => return Ok(run),
+                // Another family registered under the same name may still
+                // serve this coin/adversary combination.
+                Err(e @ ScenarioError::UnsupportedCoin { .. })
+                | Err(e @ ScenarioError::UnsupportedAdversary { .. }) => {
+                    fallback = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !saw_name {
+            return Err(ScenarioError::UnknownProtocol {
+                name: spec.protocol.clone(),
+                known: self.names(),
+            });
+        }
+        Err(fallback.expect("a matching family either spawned or errored"))
+    }
+
+    /// Resolves `spec`, runs it to stable sync (window 8, Definition 3.2)
+    /// or to the beat budget, and reports. The one-call replacement for
+    /// every hand-wired `SimBuilder::build` closure.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
+        self.run_with_window(spec, super::run::DEFAULT_SYNC_WINDOW)
+    }
+
+    /// [`ProtocolRegistry::run`] with an explicit stability window.
+    pub fn run_with_window(
+        &self,
+        spec: &ScenarioSpec,
+        window: u64,
+    ) -> Result<RunReport, ScenarioError> {
+        let mut run = self.start(spec)?;
+        Ok(drive(run.as_mut(), spec, window))
+    }
+
+    /// Runs the spec's *entire* beat budget without stopping at
+    /// convergence (`converged_at` still reports the first stable streak).
+    /// This is the mode for steady-state measurements: traffic per beat,
+    /// post-convergence closure, coin-quality streams.
+    pub fn run_exact(&self, spec: &ScenarioSpec) -> Result<RunReport, ScenarioError> {
+        let mut run = self.start(spec)?;
+        Ok(super::run::drive_exact(
+            run.as_mut(),
+            spec,
+            super::run::DEFAULT_SYNC_WINDOW,
+        ))
+    }
+}
+
+impl fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}

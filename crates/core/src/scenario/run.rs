@@ -1,0 +1,321 @@
+//! Type-erased running scenarios and the [`RunReport`] they produce.
+
+use super::spec::ScenarioSpec;
+use crate::clock::{all_synced, DigitalClock, SyncTracker};
+use byzclock_sim::{Adversary, Application, Simulation, TrafficStats};
+
+/// Stability window used by [`drive`] by default: the system must stay
+/// clock-synched *and incrementing* this many beats before a run counts as
+/// converged (Definition 3.2).
+pub const DEFAULT_SYNC_WINDOW: u64 = 8;
+
+/// A started scenario with the protocol and adversary types erased —
+/// what a [`super::ProtocolRegistry`] hands back so grids of heterogeneous
+/// protocols can be driven by one loop.
+pub trait ScenarioRun {
+    /// Executes one beat.
+    fn step(&mut self);
+
+    /// Beats executed so far.
+    fn beat(&self) -> u64;
+
+    /// The clock modulus, or `None` for non-clock scenarios (the
+    /// standalone coin stream).
+    fn modulus(&self) -> Option<u64>;
+
+    /// Current clock readings of the correct nodes (empty for non-clock
+    /// scenarios).
+    fn clock_readings(&self) -> Vec<Option<u64>>;
+
+    /// The value all correct clocks agree on right now, if any
+    /// (Definition 3.1).
+    fn synced(&self) -> Option<u64> {
+        let readings = self.clock_readings();
+        if readings.is_empty() {
+            None
+        } else {
+            all_synced(readings)
+        }
+    }
+
+    /// Traffic accounting so far.
+    fn traffic(&self) -> &TrafficStats;
+
+    /// Protocol-specific named metrics sampled at reporting time (e.g.
+    /// the 4-clock's `a2_step_ratio`, the coin stream's `p0`/`p1`).
+    fn extras(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+}
+
+/// A protocol-specific metrics sampler attached to a [`ClockRun`].
+pub type ExtrasFn<A, Adv> = fn(&Simulation<A, Adv>) -> Vec<(String, f64)>;
+
+/// The standard [`ScenarioRun`] adapter: any simulated [`DigitalClock`]
+/// application plus any adversary.
+pub struct ClockRun<A, Adv>
+where
+    A: Application + DigitalClock,
+    Adv: Adversary<A::Msg>,
+{
+    sim: Simulation<A, Adv>,
+    extras_fn: Option<ExtrasFn<A, Adv>>,
+}
+
+impl<A, Adv> ClockRun<A, Adv>
+where
+    A: Application + DigitalClock,
+    Adv: Adversary<A::Msg>,
+{
+    /// Wraps a built simulation.
+    pub fn new(sim: Simulation<A, Adv>) -> Self {
+        ClockRun {
+            sim,
+            extras_fn: None,
+        }
+    }
+
+    /// Wraps a simulation with a protocol-specific metrics sampler.
+    pub fn with_extras(sim: Simulation<A, Adv>, extras_fn: ExtrasFn<A, Adv>) -> Self {
+        ClockRun {
+            sim,
+            extras_fn: Some(extras_fn),
+        }
+    }
+
+    /// The wrapped simulation.
+    pub fn sim(&self) -> &Simulation<A, Adv> {
+        &self.sim
+    }
+}
+
+impl<A, Adv> ScenarioRun for ClockRun<A, Adv>
+where
+    A: Application + DigitalClock,
+    Adv: Adversary<A::Msg>,
+{
+    fn step(&mut self) {
+        self.sim.step();
+    }
+
+    fn beat(&self) -> u64 {
+        self.sim.beat()
+    }
+
+    fn modulus(&self) -> Option<u64> {
+        self.sim.correct_apps().next().map(|(_, a)| a.modulus())
+    }
+
+    fn clock_readings(&self) -> Vec<Option<u64>> {
+        self.sim.correct_apps().map(|(_, a)| a.read()).collect()
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        self.sim.stats()
+    }
+
+    fn extras(&self) -> Vec<(String, f64)> {
+        self.extras_fn.map_or_else(Vec::new, |f| f(&self.sim))
+    }
+}
+
+/// Traffic totals of a finished run, aggregated for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficSummary {
+    /// Envelopes sent by correct nodes.
+    pub correct_msgs: u64,
+    /// Encoded payload bytes sent by correct nodes.
+    pub correct_bytes: u64,
+    /// Envelopes sent by Byzantine nodes.
+    pub byz_msgs: u64,
+    /// Encoded payload bytes sent by Byzantine nodes.
+    pub byz_bytes: u64,
+    /// Forged envelopes dropped by the authenticated network.
+    pub forged_dropped: u64,
+    /// Phantom envelopes injected by fault events.
+    pub phantom_msgs: u64,
+    /// Mean correct-node envelopes per beat.
+    pub mean_correct_msgs_per_beat: f64,
+    /// Mean correct-node payload bytes per beat.
+    pub mean_correct_bytes_per_beat: f64,
+}
+
+impl TrafficSummary {
+    /// Aggregates a run's per-beat history.
+    pub fn of(stats: &TrafficStats) -> Self {
+        let mut s = TrafficSummary {
+            mean_correct_msgs_per_beat: stats.mean_correct_msgs_per_beat(),
+            mean_correct_bytes_per_beat: stats.mean_correct_bytes_per_beat(),
+            ..TrafficSummary::default()
+        };
+        for b in stats.per_beat() {
+            s.correct_msgs += b.correct_msgs;
+            s.correct_bytes += b.correct_bytes;
+            s.byz_msgs += b.byz_msgs;
+            s.byz_bytes += b.byz_bytes;
+            s.forged_dropped += b.forged_dropped;
+            s.phantom_msgs += b.phantom_msgs;
+        }
+        s
+    }
+}
+
+/// Everything a finished scenario run reports: convergence, sync quality,
+/// traffic, and protocol-specific extras — one comparable, serializable
+/// struct for every protocol in the registry.
+///
+/// Reports are deterministic: the same [`ScenarioSpec`] always yields an
+/// identical (`==`) report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The spec line this run executed (parseable back into the spec).
+    pub spec: String,
+    /// Beats executed.
+    pub beats: u64,
+    /// Beat at which the stable sync streak began (Definition 3.2),
+    /// measured from the end of the last scheduled fault; `None` if the
+    /// budget ran out first or the scenario has no clock.
+    pub converged_at: Option<u64>,
+    /// Beat from which sync tracking started (0 for clean/corrupt-start
+    /// runs, the end of the last scheduled fault otherwise).
+    pub measured_from: u64,
+    /// Clock readings of the correct nodes at the end of the run.
+    pub final_clocks: Vec<Option<u64>>,
+    /// Length of the sync streak still standing at the end of the run.
+    pub final_streak: u64,
+    /// Aggregated traffic.
+    pub traffic: TrafficSummary,
+    /// Protocol-specific named metrics.
+    pub extras: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// Convergence time relative to the run's measurement start (the end
+    /// of the last scheduled fault) — the number every table cell wants.
+    /// `None` while unconverged.
+    pub fn beats_to_sync(&self) -> Option<u64> {
+        self.converged_at
+            .map(|b| b.saturating_sub(self.measured_from))
+    }
+
+    /// A named extra metric, if the protocol reported it.
+    pub fn extra(&self, name: &str) -> Option<f64> {
+        self.extras.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Hand-rolled JSON rendering (the build environment has no serde);
+    /// stable key order, suitable for log archiving.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "{{\"spec\":{:?},\"beats\":{}", self.spec, self.beats);
+        match self.converged_at {
+            Some(b) => {
+                let _ = write!(s, ",\"converged_at\":{b}");
+            }
+            None => s.push_str(",\"converged_at\":null"),
+        }
+        let _ = write!(s, ",\"measured_from\":{}", self.measured_from);
+        let _ = write!(s, ",\"final_streak\":{}", self.final_streak);
+        s.push_str(",\"final_clocks\":[");
+        for (i, c) in self.final_clocks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match c {
+                Some(v) => {
+                    let _ = write!(s, "{v}");
+                }
+                None => s.push_str("null"),
+            }
+        }
+        let t = &self.traffic;
+        let _ = write!(
+            s,
+            "],\"traffic\":{{\"correct_msgs\":{},\"correct_bytes\":{},\"byz_msgs\":{},\
+             \"byz_bytes\":{},\"forged_dropped\":{},\"phantom_msgs\":{},\
+             \"mean_correct_msgs_per_beat\":{:.3},\"mean_correct_bytes_per_beat\":{:.3}}}",
+            t.correct_msgs,
+            t.correct_bytes,
+            t.byz_msgs,
+            t.byz_bytes,
+            t.forged_dropped,
+            t.phantom_msgs,
+            t.mean_correct_msgs_per_beat,
+            t.mean_correct_bytes_per_beat,
+        );
+        s.push_str(",\"extras\":{");
+        for (i, (k, v)) in self.extras.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{k:?}:{v:.6}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Drives a started run to completion and reports.
+///
+/// Clock scenarios run until the correct nodes have been clock-synched and
+/// incrementing for `window` consecutive beats (counted only after the
+/// last scheduled fault — recovery experiments measure recovery, not the
+/// pre-fault warm-up), or until the beat budget is exhausted. Non-clock
+/// scenarios (coin streams) run the full budget.
+pub fn drive(run: &mut dyn ScenarioRun, spec: &ScenarioSpec, window: u64) -> RunReport {
+    drive_impl(run, spec, window, true)
+}
+
+/// Like [`drive`], but always executes the spec's entire beat budget;
+/// `converged_at` still reports the first stable streak. The mode for
+/// steady-state measurements (traffic per beat, closure checks).
+pub fn drive_exact(run: &mut dyn ScenarioRun, spec: &ScenarioSpec, window: u64) -> RunReport {
+    drive_impl(run, spec, window, false)
+}
+
+fn drive_impl(
+    run: &mut dyn ScenarioRun,
+    spec: &ScenarioSpec,
+    window: u64,
+    stop_at_sync: bool,
+) -> RunReport {
+    let budget = spec.beat_budget;
+    let measure_from = spec.fault_plan.measurement_start();
+    let mut converged_at = None;
+    let mut final_streak = 0;
+    match run.modulus() {
+        None => {
+            while run.beat() < budget {
+                run.step();
+            }
+        }
+        Some(k) => {
+            while run.beat() < measure_from.min(budget) {
+                run.step();
+            }
+            let mut tracker = SyncTracker::new(k);
+            while run.beat() < budget {
+                run.step();
+                tracker.observe(run.synced());
+                if tracker.streak_len() >= window && converged_at.is_none() {
+                    converged_at = Some(run.beat() - tracker.streak_len());
+                    if stop_at_sync {
+                        break;
+                    }
+                }
+            }
+            final_streak = tracker.streak_len();
+        }
+    }
+    RunReport {
+        spec: spec.to_string(),
+        beats: run.beat(),
+        converged_at,
+        measured_from: measure_from,
+        final_clocks: run.clock_readings(),
+        final_streak,
+        traffic: TrafficSummary::of(run.traffic()),
+        extras: run.extras(),
+    }
+}

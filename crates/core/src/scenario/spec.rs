@@ -1,0 +1,671 @@
+//! The declarative scenario description.
+//!
+//! A [`ScenarioSpec`] is plain data naming one point of the reproduction's
+//! experiment grid: protocol × cluster shape × coin × adversary × fault
+//! plan × seed. Specs are serializable as a single self-describing line
+//! (see [`ScenarioSpec::parse`]) so sweeps can be logged, diffed, replayed
+//! from a shell, and later sharded across processes.
+
+use super::registry::ScenarioError;
+use byzclock_sim::{FaultEvent, FaultKind, FaultPlan, NodeId};
+use std::fmt;
+
+/// Which randomness substrate the protocol draws its per-beat bit from.
+///
+/// Oracle probabilities are stored in permille (`0..=1000`) so specs stay
+/// `Eq` and round-trip exactly through their string form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoinSpec {
+    /// The paper's full construction: pipelined GVSS ticket coin.
+    Ticket,
+    /// The naive XOR-combine coin (measurably weaker; experiment F1).
+    Xor,
+    /// Independent per-node local coins (the expected-exponential
+    /// Dolev-Welch regime).
+    Local,
+    /// An ideal beacon with `P[E0] = p0`, `P[E1] = p1` (permille); the
+    /// remainder of the probability mass is an adversarial split.
+    Oracle {
+        /// `P[all correct nodes see 0]`, in permille.
+        p0_permille: u16,
+        /// `P[all correct nodes see 1]`, in permille.
+        p1_permille: u16,
+    },
+    /// No coin at all — for the deterministic baseline clocks.
+    None,
+}
+
+impl CoinSpec {
+    /// A perfect common coin (`p0 = p1 = 1/2`).
+    pub fn perfect_oracle() -> Self {
+        CoinSpec::Oracle {
+            p0_permille: 500,
+            p1_permille: 500,
+        }
+    }
+
+    /// An oracle from float probabilities (rounded to permille).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are outside `[0, 1]` or sum above 1.
+    pub fn oracle(p0: f64, p1: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p0) && (0.0..=1.0).contains(&p1) && p0 + p1 <= 1.0 + 1e-9,
+            "invalid oracle probabilities p0={p0} p1={p1}"
+        );
+        CoinSpec::Oracle {
+            p0_permille: (p0 * 1000.0).round() as u16,
+            p1_permille: (p1 * 1000.0).round() as u16,
+        }
+    }
+
+    /// Oracle `p0` as a float (0 for other coins).
+    pub fn p0(&self) -> f64 {
+        match self {
+            CoinSpec::Oracle { p0_permille, .. } => f64::from(*p0_permille) / 1000.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Oracle `p1` as a float (0 for other coins).
+    pub fn p1(&self) -> f64 {
+        match self {
+            CoinSpec::Oracle { p1_permille, .. } => f64::from(*p1_permille) / 1000.0,
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for CoinSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoinSpec::Ticket => write!(f, "ticket"),
+            CoinSpec::Xor => write!(f, "xor"),
+            CoinSpec::Local => write!(f, "local"),
+            CoinSpec::Oracle {
+                p0_permille,
+                p1_permille,
+            } => {
+                write!(f, "oracle:{p0_permille},{p1_permille}")
+            }
+            CoinSpec::None => write!(f, "none"),
+        }
+    }
+}
+
+impl std::str::FromStr for CoinSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "ticket" => Ok(CoinSpec::Ticket),
+            "xor" => Ok(CoinSpec::Xor),
+            "local" => Ok(CoinSpec::Local),
+            "none" => Ok(CoinSpec::None),
+            "oracle" => Ok(CoinSpec::perfect_oracle()),
+            _ => {
+                let body = s
+                    .strip_prefix("oracle:")
+                    .ok_or_else(|| ScenarioError::Parse(format!("unknown coin spec `{s}`")))?;
+                let (a, b) = body.split_once(',').ok_or_else(|| {
+                    ScenarioError::Parse(format!("oracle coin needs `p0,p1` permille: `{s}`"))
+                })?;
+                let parse = |v: &str| {
+                    v.parse::<u16>().map_err(|_| {
+                        ScenarioError::Parse(format!("bad oracle permille `{v}` in `{s}`"))
+                    })
+                };
+                let (p0, p1) = (parse(a)?, parse(b)?);
+                if u32::from(p0) + u32::from(p1) > 1000 {
+                    return Err(ScenarioError::Parse(format!(
+                        "oracle probabilities sum above 1: `{s}`"
+                    )));
+                }
+                Ok(CoinSpec::Oracle {
+                    p0_permille: p0,
+                    p1_permille: p1,
+                })
+            }
+        }
+    }
+}
+
+/// Which Byzantine strategy drives the faulty nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// Byzantine nodes stay silent (crash-like).
+    Silent,
+    /// Independent uniformly random clock votes.
+    RandomVote,
+    /// Per-recipient equivocation on clock votes.
+    Equivocate,
+    /// The rushing threshold-gaming splitter.
+    SplitVote,
+    /// The Remark 3.1 attacker with rushing knowledge of the coin
+    /// (requires an oracle coin — that knowledge *is* the beacon handle).
+    RandAwareSplitter,
+    /// Structurally-valid random noise against the coin rounds
+    /// (coin-stream scenarios).
+    CoinNoise {
+        /// Pipeline depth to imitate.
+        depth: u8,
+    },
+    /// A Byzantine dealer handing out inconsistent GVSS rows
+    /// (coin-stream scenarios).
+    InconsistentDealer,
+    /// Equivocation targeted at the recover round (coin-stream scenarios).
+    RecoverEquivocator {
+        /// The pipeline slot whose recover round is attacked.
+        slot: u8,
+    },
+    /// Consensus-message equivocation against the deterministic baseline
+    /// clocks; `mixed_bits` rotates binary-round lies in (for phase-king
+    /// targets).
+    BaEquivocator {
+        /// Rotate Val/Bit/BitProp lies instead of value lies only.
+        mixed_bits: bool,
+    },
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversarySpec::Silent => write!(f, "silent"),
+            AdversarySpec::RandomVote => write!(f, "random-vote"),
+            AdversarySpec::Equivocate => write!(f, "equivocate"),
+            AdversarySpec::SplitVote => write!(f, "split-vote"),
+            AdversarySpec::RandAwareSplitter => write!(f, "rand-aware-splitter"),
+            AdversarySpec::CoinNoise { depth } => write!(f, "coin-noise:{depth}"),
+            AdversarySpec::InconsistentDealer => write!(f, "inconsistent-dealer"),
+            AdversarySpec::RecoverEquivocator { slot } => {
+                write!(f, "recover-equivocator:{slot}")
+            }
+            AdversarySpec::BaEquivocator { mixed_bits: false } => write!(f, "ba-equivocator"),
+            AdversarySpec::BaEquivocator { mixed_bits: true } => {
+                write!(f, "ba-equivocator:mixed")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for AdversarySpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "silent" => Ok(AdversarySpec::Silent),
+            "random-vote" => Ok(AdversarySpec::RandomVote),
+            "equivocate" => Ok(AdversarySpec::Equivocate),
+            "split-vote" => Ok(AdversarySpec::SplitVote),
+            "rand-aware-splitter" => Ok(AdversarySpec::RandAwareSplitter),
+            "coin-noise" => Ok(AdversarySpec::CoinNoise { depth: 4 }),
+            "inconsistent-dealer" => Ok(AdversarySpec::InconsistentDealer),
+            "recover-equivocator" => Ok(AdversarySpec::RecoverEquivocator { slot: 3 }),
+            "ba-equivocator" => Ok(AdversarySpec::BaEquivocator { mixed_bits: false }),
+            "ba-equivocator:mixed" => Ok(AdversarySpec::BaEquivocator { mixed_bits: true }),
+            _ => {
+                if let Some(d) = s.strip_prefix("coin-noise:") {
+                    let depth = d
+                        .parse()
+                        .map_err(|_| ScenarioError::Parse(format!("bad coin-noise depth `{d}`")))?;
+                    return Ok(AdversarySpec::CoinNoise { depth });
+                }
+                if let Some(d) = s.strip_prefix("recover-equivocator:") {
+                    let slot = d.parse().map_err(|_| {
+                        ScenarioError::Parse(format!("bad recover-equivocator slot `{d}`"))
+                    })?;
+                    return Ok(AdversarySpec::RecoverEquivocator { slot });
+                }
+                Err(ScenarioError::Parse(format!(
+                    "unknown adversary spec `{s}`"
+                )))
+            }
+        }
+    }
+}
+
+/// The transient-fault schedule, plus whether nodes boot from scrambled
+/// memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlanSpec {
+    /// Scramble every correct node's state right after construction
+    /// (self-stabilization's "arbitrary initial state").
+    pub corrupt_start: bool,
+    /// Scheduled mid-run fault events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlanSpec {
+    /// No faults; clean boots.
+    pub fn none() -> Self {
+        FaultPlanSpec::default()
+    }
+
+    /// Corrupted initial memory, no mid-run faults — the standard
+    /// convergence-measurement setup.
+    pub fn corrupt_start() -> Self {
+        FaultPlanSpec {
+            corrupt_start: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// The standard "fault storm" at `beat`: scramble all correct memory
+    /// and replay `phantoms` stale messages.
+    pub fn storm(beat: u64, phantoms: usize) -> Self {
+        FaultPlanSpec {
+            corrupt_start: false,
+            events: vec![
+                FaultEvent {
+                    beat,
+                    kind: FaultKind::CorruptAllCorrect,
+                },
+                FaultEvent {
+                    beat,
+                    kind: FaultKind::PhantomBurst { count: phantoms },
+                },
+            ],
+        }
+    }
+
+    /// The sim-layer [`FaultPlan`] for the scheduled events.
+    pub fn to_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.events.clone())
+    }
+
+    /// The beat after which the network is guaranteed non-faulty
+    /// (0 when only the start is corrupted).
+    pub fn measurement_start(&self) -> u64 {
+        self.to_plan().last_fault_beat().map_or(0, |b| b + 1)
+    }
+}
+
+impl fmt::Display for FaultPlanSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.corrupt_start {
+            parts.push("corrupt-start".to_string());
+        }
+        for e in &self.events {
+            parts.push(match &e.kind {
+                FaultKind::CorruptAllCorrect => format!("scramble@{}", e.beat),
+                FaultKind::CorruptNodes(ids) => format!(
+                    "corrupt@{}:{}",
+                    e.beat,
+                    ids.iter()
+                        .map(|i| i.raw().to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                FaultKind::PhantomBurst { count } => format!("phantoms@{}:{count}", e.beat),
+                FaultKind::Blackout { beats } => format!("blackout@{}:{beats}", e.beat),
+                _ => format!("unknown@{}", e.beat),
+            });
+        }
+        if parts.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", parts.join("+"))
+        }
+    }
+}
+
+impl std::str::FromStr for FaultPlanSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        let mut plan = FaultPlanSpec::none();
+        if s == "none" {
+            return Ok(plan);
+        }
+        let bad = |what: &str| ScenarioError::Parse(format!("bad fault item `{what}` in `{s}`"));
+        for item in s.split('+') {
+            if item == "corrupt-start" {
+                plan.corrupt_start = true;
+                continue;
+            }
+            let (kind, rest) = item.split_once('@').ok_or_else(|| bad(item))?;
+            let (beat_str, arg) = match rest.split_once(':') {
+                Some((b, a)) => (b, Some(a)),
+                None => (rest, None),
+            };
+            let beat: u64 = beat_str.parse().map_err(|_| bad(item))?;
+            let kind = match (kind, arg) {
+                ("scramble", None) => FaultKind::CorruptAllCorrect,
+                ("corrupt", Some(ids)) => FaultKind::CorruptNodes(
+                    ids.split(',')
+                        .map(|i| i.parse::<u16>().map(NodeId::new))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|_| bad(item))?,
+                ),
+                ("phantoms", Some(count)) => FaultKind::PhantomBurst {
+                    count: count.parse().map_err(|_| bad(item))?,
+                },
+                ("blackout", Some(beats)) => FaultKind::Blackout {
+                    beats: beats.parse().map_err(|_| bad(item))?,
+                },
+                _ => return Err(bad(item)),
+            };
+            plan.events.push(FaultEvent { beat, kind });
+        }
+        plan.events.sort_by_key(|e| e.beat);
+        Ok(plan)
+    }
+}
+
+/// One fully-specified run of the reproduction harness.
+///
+/// Construct with [`ScenarioSpec::new`] and the fluent `with_*` setters,
+/// or parse from the single-line form produced by [`fmt::Display`]:
+///
+/// ```
+/// use byzclock_core::scenario::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::parse(
+///     "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start seed=3 budget=3000",
+/// ).unwrap();
+/// assert_eq!(spec.n, 7);
+/// assert_eq!(ScenarioSpec::parse(&spec.to_string()).unwrap(), spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Registry name of the protocol family (e.g. `two-clock`,
+    /// `clock-sync`, `dw-clock`).
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Protocol fault budget (code constant, `f < n/3` for the paper's
+    /// algorithms).
+    pub f: usize,
+    /// Clock modulus `k` (ignored by the fixed-modulus 2-/4-clocks).
+    pub clock_modulus: u64,
+    /// Randomness substrate.
+    pub coin: CoinSpec,
+    /// Byzantine strategy.
+    pub adversary: AdversarySpec,
+    /// Transient faults and boot corruption.
+    pub fault_plan: FaultPlanSpec,
+    /// Which nodes are *actually* Byzantine (`None` = the `f` highest
+    /// ids, the builder default). Lets resiliency experiments place more
+    /// or fewer real faults than the budget, or make a specific node — a
+    /// queen, a dealer — the traitor.
+    pub byzantine: Option<Vec<u16>>,
+    /// Master seed; every random stream in the run derives from it.
+    pub seed: u64,
+    /// Maximum beats to execute before giving up on convergence.
+    pub beat_budget: u64,
+}
+
+impl ScenarioSpec {
+    /// A spec with the workspace defaults: `k = 8`, ticket coin, silent
+    /// adversary, corrupted start, seed 0, 5000-beat budget.
+    pub fn new(protocol: impl Into<String>, n: usize, f: usize) -> Self {
+        ScenarioSpec {
+            protocol: protocol.into(),
+            n,
+            f,
+            clock_modulus: 8,
+            coin: CoinSpec::Ticket,
+            adversary: AdversarySpec::Silent,
+            fault_plan: FaultPlanSpec::corrupt_start(),
+            byzantine: None,
+            seed: 0,
+            beat_budget: 5_000,
+        }
+    }
+
+    /// Sets the clock modulus `k`.
+    pub fn with_modulus(mut self, k: u64) -> Self {
+        self.clock_modulus = k;
+        self
+    }
+
+    /// Sets the coin.
+    pub fn with_coin(mut self, coin: CoinSpec) -> Self {
+        self.coin = coin;
+        self
+    }
+
+    /// Sets the adversary.
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn with_faults(mut self, fault_plan: FaultPlanSpec) -> Self {
+        self.fault_plan = fault_plan;
+        self
+    }
+
+    /// Overrides which nodes are actually Byzantine.
+    pub fn with_byzantine(mut self, ids: impl IntoIterator<Item = u16>) -> Self {
+        self.byzantine = Some(ids.into_iter().collect());
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the beat budget.
+    pub fn with_budget(mut self, beats: u64) -> Self {
+        self.beat_budget = beats;
+        self
+    }
+
+    /// Structural validation shared by every protocol family.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let fail = |msg: String| Err(ScenarioError::InvalidSpec(msg));
+        if self.n == 0 {
+            return fail("cluster must have at least one node".into());
+        }
+        if self.f >= self.n {
+            return fail(format!(
+                "fault budget f={} must be below n={}",
+                self.f, self.n
+            ));
+        }
+        if self.clock_modulus == 0 {
+            return fail("clock modulus k must be at least 1".into());
+        }
+        if self.beat_budget == 0 {
+            return fail("beat budget must be at least 1".into());
+        }
+        if let Some(byz) = &self.byzantine {
+            let mut sorted = byz.clone();
+            sorted.sort_unstable();
+            let len_before = sorted.len();
+            sorted.dedup();
+            if sorted.len() != len_before {
+                return fail("duplicate byzantine id".into());
+            }
+            if sorted.iter().any(|&id| usize::from(id) >= self.n) {
+                return fail("byzantine id out of range".into());
+            }
+            if sorted.len() >= self.n {
+                return fail("at least one node must stay correct".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the single-line form (see the type-level example).
+    pub fn parse(s: &str) -> Result<Self, ScenarioError> {
+        let mut tokens = s.split_whitespace();
+        let protocol = tokens
+            .next()
+            .ok_or_else(|| ScenarioError::Parse("empty scenario spec".into()))?;
+        let mut spec = ScenarioSpec::new(protocol, 4, 1);
+        let mut saw_f = false;
+        for tok in tokens {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| ScenarioError::Parse(format!("expected key=value, got `{tok}`")))?;
+            let num = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| ScenarioError::Parse(format!("bad number `{v}` for `{key}`")))
+            };
+            match key {
+                "n" => spec.n = num(value)? as usize,
+                "f" => {
+                    spec.f = num(value)? as usize;
+                    saw_f = true;
+                }
+                "k" => spec.clock_modulus = num(value)?,
+                "coin" => spec.coin = value.parse()?,
+                "adv" => spec.adversary = value.parse()?,
+                "faults" => spec.fault_plan = value.parse()?,
+                "byz" => {
+                    spec.byzantine = Some(
+                        value
+                            .split(',')
+                            .map(|i| {
+                                i.parse::<u16>().map_err(|_| {
+                                    ScenarioError::Parse(format!("bad byzantine id `{i}`"))
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                "seed" => spec.seed = num(value)?,
+                "budget" => spec.beat_budget = num(value)?,
+                _ => {
+                    return Err(ScenarioError::Parse(format!("unknown spec key `{key}`")));
+                }
+            }
+        }
+        if !saw_f {
+            // The paper's default budget: the largest f with f < n/3.
+            spec.f = spec.n.saturating_sub(1) / 3;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} n={} f={} k={} coin={} adv={} faults={}",
+            self.protocol,
+            self.n,
+            self.f,
+            self.clock_modulus,
+            self.coin,
+            self.adversary,
+            self.fault_plan,
+        )?;
+        if let Some(byz) = &self.byzantine {
+            write!(
+                f,
+                " byz={}",
+                byz.iter().map(u16::to_string).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        write!(f, " seed={} budget={}", self.seed, self.beat_budget)
+    }
+}
+
+impl std::str::FromStr for ScenarioSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        ScenarioSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_line_round_trips() {
+        let spec = ScenarioSpec::new("clock-sync", 7, 2)
+            .with_modulus(64)
+            .with_coin(CoinSpec::oracle(0.4, 0.4))
+            .with_adversary(AdversarySpec::SplitVote)
+            .with_faults(FaultPlanSpec::storm(60, 100))
+            .with_byzantine([0, 3])
+            .with_seed(99)
+            .with_budget(2_000);
+        let line = spec.to_string();
+        assert_eq!(ScenarioSpec::parse(&line).unwrap(), spec);
+    }
+
+    #[test]
+    fn default_f_follows_paper_budget() {
+        let spec = ScenarioSpec::parse("two-clock n=10").unwrap();
+        assert_eq!(spec.f, 3);
+        let spec = ScenarioSpec::parse("two-clock n=10 f=1").unwrap();
+        assert_eq!(spec.f, 1);
+    }
+
+    #[test]
+    fn fault_plan_round_trips() {
+        for s in [
+            "none",
+            "corrupt-start",
+            "scramble@60",
+            "corrupt-start+phantoms@60:100+blackout@61:2",
+            "corrupt@35:0,1",
+        ] {
+            let plan: FaultPlanSpec = s.parse().unwrap();
+            assert_eq!(plan.to_string(), s, "round trip failed for `{s}`");
+        }
+    }
+
+    #[test]
+    fn measurement_starts_after_last_fault() {
+        assert_eq!(FaultPlanSpec::corrupt_start().measurement_start(), 0);
+        assert_eq!(FaultPlanSpec::storm(60, 100).measurement_start(), 61);
+        let plan: FaultPlanSpec = "scramble@40+blackout@41:2".parse().unwrap();
+        assert_eq!(plan.measurement_start(), 44);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(ScenarioSpec::parse("").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 f=4").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 nonsense=1").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 coin=oracle:800,800").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 byz=9").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 faults=meteor@3").is_err());
+    }
+
+    #[test]
+    fn coin_spec_forms() {
+        assert_eq!(
+            "oracle".parse::<CoinSpec>().unwrap(),
+            CoinSpec::perfect_oracle()
+        );
+        assert_eq!(
+            "oracle:250,250".parse::<CoinSpec>().unwrap(),
+            CoinSpec::oracle(0.25, 0.25)
+        );
+        assert!((CoinSpec::oracle(0.25, 0.5).p1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adversary_spec_forms() {
+        for s in [
+            "silent",
+            "random-vote",
+            "equivocate",
+            "split-vote",
+            "rand-aware-splitter",
+            "coin-noise:4",
+            "inconsistent-dealer",
+            "recover-equivocator:3",
+            "ba-equivocator",
+            "ba-equivocator:mixed",
+        ] {
+            let adv: AdversarySpec = s.parse().unwrap();
+            assert_eq!(adv.to_string(), s, "round trip failed for `{s}`");
+        }
+    }
+}

@@ -98,9 +98,15 @@ pub fn majority_with_rand(votes: &[(NodeId, Trit)], rand: bool) -> MajorityCount
         }
     }
     if ones > zeros {
-        MajorityCount { maj: true, count: ones }
+        MajorityCount {
+            maj: true,
+            count: ones,
+        }
     } else {
-        MajorityCount { maj: false, count: zeros }
+        MajorityCount {
+            maj: false,
+            count: zeros,
+        }
     }
 }
 
@@ -118,9 +124,15 @@ pub fn majority_literal(votes: &[(NodeId, Trit)]) -> MajorityCount {
         }
     }
     if ones > zeros {
-        MajorityCount { maj: true, count: ones }
+        MajorityCount {
+            maj: true,
+            count: ones,
+        }
     } else {
-        MajorityCount { maj: false, count: zeros }
+        MajorityCount {
+            maj: false,
+            count: zeros,
+        }
     }
 }
 
@@ -160,16 +172,28 @@ mod tests {
     fn majority_substitutes_rand_for_bot() {
         let votes = vec![(id(0), Trit::Zero), (id(1), Trit::Bot), (id(2), Trit::Bot)];
         let m = majority_with_rand(&votes, false);
-        assert_eq!(m, MajorityCount { maj: false, count: 3 });
+        assert_eq!(
+            m,
+            MajorityCount {
+                maj: false,
+                count: 3
+            }
+        );
         let m = majority_with_rand(&votes, true);
-        assert_eq!(m, MajorityCount { maj: true, count: 2 });
+        assert_eq!(
+            m,
+            MajorityCount {
+                maj: true,
+                count: 2
+            }
+        );
     }
 
     #[test]
     fn majority_tie_breaks_to_zero() {
         let votes = vec![(id(0), Trit::Zero), (id(1), Trit::One)];
         let m = majority_with_rand(&votes, false);
-        assert_eq!(m.maj, false);
+        assert!(!m.maj);
         assert_eq!(m.count, 1);
     }
 
@@ -177,7 +201,13 @@ mod tests {
     fn literal_majority_ignores_bot() {
         let votes = vec![(id(0), Trit::Bot), (id(1), Trit::Bot), (id(2), Trit::One)];
         let m = majority_literal(&votes);
-        assert_eq!(m, MajorityCount { maj: true, count: 1 });
+        assert_eq!(
+            m,
+            MajorityCount {
+                maj: true,
+                count: 1
+            }
+        );
     }
 
     #[test]

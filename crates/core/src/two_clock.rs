@@ -15,10 +15,8 @@
 use crate::clock::DigitalClock;
 use crate::rand_source::RandSource;
 use crate::trit::{dedup_by_sender, majority_literal, majority_with_rand, Trit};
-use byzclock_sim::{
-    Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire,
-};
 use bytes::BytesMut;
+use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
 use rand::Rng;
 
 /// The paper's lines 3–6 as a reusable state machine: the clock variable
@@ -35,7 +33,10 @@ impl TwoClockCore {
     /// Fresh core; the clock starts at `⊥` (any start value is fine — the
     /// protocol stabilizes from all of them, and tests corrupt it anyway).
     pub fn new(cfg: NodeCfg) -> Self {
-        TwoClockCore { cfg, clock: Trit::Bot }
+        TwoClockCore {
+            cfg,
+            clock: Trit::Bot,
+        }
     }
 
     /// Node configuration.
@@ -118,11 +119,12 @@ impl<M: Wire> Wire for TwoClockMsg<M> {
     }
 }
 
+/// A 2-clock inbox split into clock votes and coin messages.
+type SplitInbox<M> = (Vec<(NodeId, Trit)>, Vec<(NodeId, M)>);
+
 /// Extracts `(sender, vote)` pairs (one per sender, first wins) and the
 /// coin sub-inbox from a 2-clock inbox.
-fn split_inbox<M: Clone>(
-    inbox: &[Envelope<TwoClockMsg<M>>],
-) -> (Vec<(NodeId, Trit)>, Vec<(NodeId, M)>) {
+fn split_inbox<M: Clone>(inbox: &[Envelope<TwoClockMsg<M>>]) -> SplitInbox<M> {
     let votes = dedup_by_sender(inbox.iter().filter_map(|e| match &e.msg {
         TwoClockMsg::Clock(t) => Some((e.from, *t)),
         TwoClockMsg::Coin(_) => None,
@@ -152,7 +154,11 @@ pub struct TwoClock<R: RandSource> {
 impl<R: RandSource> TwoClock<R> {
     /// Builds the 2-clock over the given coin.
     pub fn new(cfg: NodeCfg, rand_source: R) -> Self {
-        TwoClock { core: TwoClockCore::new(cfg), rand_source, last_rand: false }
+        TwoClock {
+            core: TwoClockCore::new(cfg),
+            rand_source,
+            last_rand: false,
+        }
     }
 
     /// Current clock value.
@@ -247,7 +253,11 @@ pub struct BrokenTwoClock<R: RandSource> {
 impl<R: RandSource> BrokenTwoClock<R> {
     /// Builds the broken 2-clock over the given coin.
     pub fn new(cfg: NodeCfg, rand_source: R) -> Self {
-        BrokenTwoClock { core: TwoClockCore::new(cfg), rand_source, prev_rand: false }
+        BrokenTwoClock {
+            core: TwoClockCore::new(cfg),
+            rand_source,
+            prev_rand: false,
+        }
     }
 
     /// Current clock value.
@@ -350,7 +360,10 @@ mod tests {
             );
             sim.step();
             let end = clocks(&sim);
-            assert!(end.iter().all(|&c| c == start.flipped()), "{start:?} -> {end:?}");
+            assert!(
+                end.iter().all(|&c| c == start.flipped()),
+                "{start:?} -> {end:?}"
+            );
         }
     }
 
@@ -363,10 +376,7 @@ mod tests {
             let mut sim = oracle_sim(7, 2, seed, &beacon);
             for _ in 0..5 {
                 sim.step();
-                let definite: Vec<u64> = sim
-                    .correct_apps()
-                    .filter_map(|(_, a)| a.read())
-                    .collect();
+                let definite: Vec<u64> = sim.correct_apps().filter_map(|(_, a)| a.read()).collect();
                 assert!(
                     definite.windows(2).all(|w| w[0] == w[1]),
                     "two different definite values after a safe beat: {definite:?}"
@@ -399,7 +409,10 @@ mod tests {
             }
         }
         let mean = total as f64 / 20.0;
-        assert!(mean < 12.0, "expected-constant convergence looks broken: mean {mean}");
+        assert!(
+            mean < 12.0,
+            "expected-constant convergence looks broken: mean {mean}"
+        );
     }
 
     /// With only adversarial splits (p0 = p1 = 0) the clock may still
@@ -425,17 +438,19 @@ mod tests {
         };
         let fast = measure(1.0, 0..15);
         let slow = measure(0.2, 0..15);
-        assert!(fast < slow, "perfect coin ({fast}) should beat weak coin ({slow})");
+        assert!(
+            fast < slow,
+            "perfect coin ({fast}) should beat weak coin ({slow})"
+        );
     }
 
     /// The local-coin variant still converges for small clusters — just
     /// slower in expectation (it is the [10]-style baseline).
     #[test]
     fn local_rand_converges_eventually_small_n() {
-        let mut sim = SimBuilder::new(4, 1).seed(9).build(
-            |cfg, _rng| TwoClock::new(cfg, LocalRand),
-            SilentAdversary,
-        );
+        let mut sim = SimBuilder::new(4, 1)
+            .seed(9)
+            .build(|cfg, _rng| TwoClock::new(cfg, LocalRand), SilentAdversary);
         let converged = sim.run_until(5_000, |s| {
             all_synced(s.correct_apps().map(|(_, a)| a.read())).is_some()
         });
@@ -472,10 +487,26 @@ mod tests {
         let mut core = TwoClockCore::new(cfg);
         let byz = NodeId::new(3);
         let inbox: Vec<Envelope<TwoClockMsg<()>>> = vec![
-            Envelope { from: NodeId::new(0), to: NodeId::new(0), msg: TwoClockMsg::Clock(Trit::Zero) },
-            Envelope { from: NodeId::new(1), to: NodeId::new(0), msg: TwoClockMsg::Clock(Trit::Zero) },
-            Envelope { from: byz, to: NodeId::new(0), msg: TwoClockMsg::Clock(Trit::Zero) },
-            Envelope { from: byz, to: NodeId::new(0), msg: TwoClockMsg::Clock(Trit::Zero) },
+            Envelope {
+                from: NodeId::new(0),
+                to: NodeId::new(0),
+                msg: TwoClockMsg::Clock(Trit::Zero),
+            },
+            Envelope {
+                from: NodeId::new(1),
+                to: NodeId::new(0),
+                msg: TwoClockMsg::Clock(Trit::Zero),
+            },
+            Envelope {
+                from: byz,
+                to: NodeId::new(0),
+                msg: TwoClockMsg::Clock(Trit::Zero),
+            },
+            Envelope {
+                from: byz,
+                to: NodeId::new(0),
+                msg: TwoClockMsg::Clock(Trit::Zero),
+            },
         ];
         let (votes, _) = split_inbox(&inbox);
         assert_eq!(votes.len(), 3, "duplicate vote must be dropped");

@@ -22,7 +22,10 @@ impl fmt::Display for FieldError {
         match self {
             FieldError::NotPrime(p) => write!(fmt, "modulus {p} is not prime"),
             FieldError::ModulusTooLarge(p) => {
-                write!(fmt, "modulus {p} exceeds the supported range (must fit in 32 bits)")
+                write!(
+                    fmt,
+                    "modulus {p} exceeds the supported range (must fit in 32 bits)"
+                )
             }
             FieldError::ZeroInverse => write!(fmt, "zero has no multiplicative inverse"),
             FieldError::DuplicatePoint(x) => {

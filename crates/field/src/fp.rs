@@ -207,8 +207,7 @@ mod tests {
     }
 
     fn prime_and_pair() -> impl Strategy<Value = (u64, u64, u64)> {
-        proptest::sample::select(TEST_PRIMES.to_vec())
-            .prop_flat_map(|p| (Just(p), 0..p, 0..p))
+        proptest::sample::select(TEST_PRIMES.to_vec()).prop_flat_map(|p| (Just(p), 0..p, 0..p))
     }
 
     fn prime_and_triple() -> impl Strategy<Value = (u64, u64, u64, u64)> {

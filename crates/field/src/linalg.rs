@@ -4,6 +4,9 @@
 //! here are tiny (a handful of unknowns per dealing), so a dense
 //! row-reduction is the clear choice.
 
+// Indexed loops in this file mirror the paper's matrix/polynomial
+// subscripts; iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::{FieldError, Fp, FpElem};
 
 /// Solves the linear system `A x = b` over `F_p`.

@@ -262,7 +262,7 @@ mod tests {
         let (q, r) = a.divmod(&fp, &b).unwrap();
         let back = q.mul(&fp, &b).add(&fp, &r);
         assert_eq!(back, a);
-        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
     }
 
     #[test]
@@ -280,7 +280,7 @@ mod tests {
             for secret in 0..11 {
                 let p = Poly::random_with_secret(&fp, secret, degree, &mut rng);
                 assert_eq!(p.eval(&fp, 0), secret);
-                assert!(p.degree().map_or(true, |d| d <= degree));
+                assert!(p.degree().is_none_or(|d| d <= degree));
             }
         }
     }

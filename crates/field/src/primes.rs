@@ -19,15 +19,15 @@ pub fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
-    if x % 3 == 0 {
+    if x.is_multiple_of(3) {
         return x == 3;
     }
     let mut d = 5u64;
     while d.saturating_mul(d) <= x {
-        if x % d == 0 || x % (d + 2) == 0 {
+        if x.is_multiple_of(d) || x.is_multiple_of(d + 2) {
             return false;
         }
         d += 6;

@@ -8,6 +8,9 @@
 //! correct node reconstructs the same polynomial no matter which `≤ f`
 //! shares the adversary falsifies — even with recover-round rushing.
 
+// Indexed loops in this file mirror the paper's matrix/polynomial
+// subscripts; iterator rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
 use crate::{linalg, Fp, FpElem, Poly};
 
 /// Decodes a polynomial of degree at most `degree` from `points`, tolerating
@@ -81,7 +84,7 @@ pub fn decode_with_errors(
                 .iter()
                 .filter(|&&(x, y)| p.eval(fp, x) != fp.reduce(y))
                 .count();
-            if mismatches <= budget && p.degree().map_or(true, |d| d <= degree) {
+            if mismatches <= budget && p.degree().is_none_or(|d| d <= degree) {
                 return Some(p);
             }
         }

@@ -106,7 +106,13 @@ pub struct ByzOutbox<'a, M> {
 
 impl<'a, M: Clone> ByzOutbox<'a, M> {
     pub(crate) fn new(byz: &'a [NodeId], n: usize, rng: &'a mut SimRng) -> Self {
-        ByzOutbox { byz, sends: Vec::new(), forged_dropped: 0, n, rng }
+        ByzOutbox {
+            byz,
+            sends: Vec::new(),
+            forged_dropped: 0,
+            n,
+            rng,
+        }
     }
 
     /// Send `msg` from Byzantine node `from` to `to`. Silently dropped (and
@@ -142,9 +148,19 @@ impl<'a, M: Clone> ByzOutbox<'a, M> {
 /// Called once per exchange phase, after the correct nodes' sends of that
 /// phase (rushing). Implementations may keep state across beats — the
 /// adversary is not subject to transient faults.
+///
+/// The trait is object-safe: scenario-style callers that pick a strategy at
+/// runtime can hand the simulator a `Box<dyn Adversary<M>>` and it behaves
+/// like the concrete strategy it wraps.
 pub trait Adversary<M: Clone> {
     /// Choose the Byzantine envelopes for this phase.
     fn act(&mut self, view: &AdversaryView<'_, M>, out: &mut ByzOutbox<'_, M>);
+}
+
+impl<M: Clone, A: Adversary<M> + ?Sized> Adversary<M> for Box<A> {
+    fn act(&mut self, view: &AdversaryView<'_, M>, out: &mut ByzOutbox<'_, M>) {
+        (**self).act(view, out)
+    }
 }
 
 /// The crash-like adversary: Byzantine nodes never send anything.
@@ -166,9 +182,11 @@ pub(crate) fn visible_slice<M: Clone>(
 ) -> Vec<Envelope<M>> {
     match visibility {
         Visibility::Omniscient => all.to_vec(),
-        Visibility::PrivateChannels => {
-            all.iter().filter(|e| byz.contains(&e.to)).cloned().collect()
-        }
+        Visibility::PrivateChannels => all
+            .iter()
+            .filter(|e| byz.contains(&e.to))
+            .cloned()
+            .collect(),
     }
 }
 
@@ -184,7 +202,11 @@ pub(crate) fn stamp<M: Clone>(
             Target::One(to) => out.push(Envelope { from, to, msg }),
             Target::All => {
                 for to in (0..n as u16).map(NodeId::new) {
-                    out.push(Envelope { from, to, msg: msg.clone() });
+                    out.push(Envelope {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    });
                 }
             }
         }
@@ -224,8 +246,16 @@ mod tests {
     fn private_channels_hide_correct_unicasts() {
         let byz = vec![NodeId::new(2)];
         let all = vec![
-            Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: 1u64 }, // hidden
-            Envelope { from: NodeId::new(0), to: NodeId::new(2), msg: 2u64 }, // visible
+            Envelope {
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                msg: 1u64,
+            }, // hidden
+            Envelope {
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                msg: 2u64,
+            }, // visible
         ];
         let vis = visible_slice(&all, &byz, Visibility::PrivateChannels);
         assert_eq!(vis.len(), 1);

@@ -45,7 +45,10 @@ pub struct Outbox<'a, M> {
 
 impl<'a, M> Outbox<'a, M> {
     pub(crate) fn new(rng: &'a mut SimRng) -> Self {
-        Outbox { sends: Vec::new(), rng }
+        Outbox {
+            sends: Vec::new(),
+            rng,
+        }
     }
 
     /// Queue a unicast.

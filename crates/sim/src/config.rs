@@ -31,6 +31,7 @@ pub struct SimBuilder {
     visibility: Visibility,
     fault_plan: FaultPlan,
     history_cap: usize,
+    corrupted_start: bool,
 }
 
 impl SimBuilder {
@@ -53,7 +54,18 @@ impl SimBuilder {
             visibility: Visibility::PrivateChannels,
             fault_plan: FaultPlan::none(),
             history_cap: 4096,
+            corrupted_start: false,
         }
+    }
+
+    /// Cluster size `n`.
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    /// Protocol fault budget `f`.
+    pub fn fault_budget(&self) -> usize {
+        self.f
     }
 
     /// Chooses which nodes are actually Byzantine (any count `< n`).
@@ -72,7 +84,10 @@ impl SimBuilder {
         let before = byz.len();
         byz.dedup();
         assert_eq!(before, byz.len(), "duplicate byzantine id");
-        assert!(byz.iter().all(|id| id.index() < self.n), "byzantine id out of range");
+        assert!(
+            byz.iter().all(|id| id.index() < self.n),
+            "byzantine id out of range"
+        );
         assert!(byz.len() < self.n, "at least one node must stay correct");
         self.byz = byz;
         self
@@ -108,6 +123,32 @@ impl SimBuilder {
         self
     }
 
+    /// Starts every correct node from scrambled memory: after the factory
+    /// runs, [`Application::corrupt`] fires once with the node's own RNG —
+    /// the self-stabilization experiments' "arbitrary initial state"
+    /// (Definition 2.4) without hand-writing a corrupting factory closure.
+    pub fn corrupted_start(mut self, corrupted: bool) -> Self {
+        self.corrupted_start = corrupted;
+        self
+    }
+
+    /// Fluent escape hatch: applies `f` to the builder inside a method
+    /// chain (useful when a configuration step is conditional).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use byzclock_sim::SimBuilder;
+    ///
+    /// let stress = true;
+    /// let builder = SimBuilder::new(7, 2)
+    ///     .apply(|b| if stress { b.corrupted_start(true) } else { b });
+    /// # let _ = builder;
+    /// ```
+    pub fn apply(self, f: impl FnOnce(Self) -> Self) -> Self {
+        f(self)
+    }
+
     /// Builds the simulation: `factory` constructs the protocol stack for
     /// each correct node (Byzantine slots get no application — the
     /// adversary speaks for them).
@@ -117,7 +158,16 @@ impl SimBuilder {
         Adv: Adversary<A::Msg>,
         F: FnMut(NodeCfg, &mut SimRng) -> A,
     {
-        let SimBuilder { n, f, byz, seed, visibility, fault_plan, history_cap } = self;
+        let SimBuilder {
+            n,
+            f,
+            byz,
+            seed,
+            visibility,
+            fault_plan,
+            history_cap,
+            corrupted_start,
+        } = self;
         let mut apps = Vec::with_capacity(n);
         let mut node_rngs = Vec::with_capacity(n);
         for i in 0..n as u16 {
@@ -126,7 +176,11 @@ impl SimBuilder {
             let app = if byz.contains(&id) {
                 None
             } else {
-                Some(factory(NodeCfg::new(id, n, f), &mut rng))
+                let mut app = factory(NodeCfg::new(id, n, f), &mut rng);
+                if corrupted_start {
+                    app.corrupt(&mut rng);
+                }
+                Some(app)
             };
             apps.push(app);
             node_rngs.push(rng);
@@ -134,7 +188,16 @@ impl SimBuilder {
         let adv_rng = stream_rng(seed, 1 << 32);
         let fault_rng = stream_rng(seed, (1 << 32) + 1);
         Simulation::from_parts(
-            n, f, byz, visibility, apps, node_rngs, adversary, adv_rng, fault_rng, fault_plan,
+            n,
+            f,
+            byz,
+            visibility,
+            apps,
+            node_rngs,
+            adversary,
+            adv_rng,
+            fault_rng,
+            fault_plan,
             history_cap,
         )
     }
@@ -143,6 +206,29 @@ impl SimBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{Envelope, Outbox, SilentAdversary};
+
+    #[test]
+    fn corrupted_start_scrambles_after_the_factory() {
+        struct Flag {
+            corrupted: bool,
+        }
+        impl Application for Flag {
+            type Msg = ();
+            fn send(&mut self, _phase: usize, _out: &mut Outbox<'_, ()>) {}
+            fn deliver(&mut self, _phase: usize, _inbox: &[Envelope<()>], _rng: &mut SimRng) {}
+            fn corrupt(&mut self, _rng: &mut SimRng) {
+                self.corrupted = true;
+            }
+        }
+        let clean =
+            SimBuilder::new(4, 1).build(|_cfg, _rng| Flag { corrupted: false }, SilentAdversary);
+        assert!(clean.correct_apps().all(|(_, a)| !a.corrupted));
+        let scrambled = SimBuilder::new(4, 1)
+            .corrupted_start(true)
+            .build(|_cfg, _rng| Flag { corrupted: false }, SilentAdversary);
+        assert!(scrambled.correct_apps().all(|(_, a)| a.corrupted));
+    }
 
     #[test]
     fn default_byzantine_are_highest_ids() {

@@ -37,9 +37,13 @@ mod tests {
 
     #[test]
     fn envelope_is_plain_data() {
-        let e = Envelope { from: NodeId::new(1), to: NodeId::new(2), msg: 42u64 };
+        let e = Envelope {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            msg: 42u64,
+        };
         let e2 = e.clone();
         assert_eq!(e, e2);
-        assert_eq!(format!("{e:?}").contains("42"), true);
+        assert!(format!("{e:?}").contains("42"));
     }
 }

@@ -18,10 +18,9 @@
 //! every experiment starts after the last scheduled fault.
 
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// One scheduled transient fault.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultEvent {
     /// The beat at whose end the fault fires.
     pub beat: u64,
@@ -30,7 +29,7 @@ pub struct FaultEvent {
 }
 
 /// The kinds of transient faults the harness can inject.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum FaultKind {
     /// Scramble the entire protocol state of the listed (correct) nodes.
@@ -51,7 +50,7 @@ pub enum FaultKind {
 }
 
 /// A schedule of transient faults.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }
@@ -104,9 +103,18 @@ mod tests {
     #[test]
     fn plan_sorts_and_reports_last_beat() {
         let plan = FaultPlan::new(vec![
-            FaultEvent { beat: 9, kind: FaultKind::CorruptAllCorrect },
-            FaultEvent { beat: 3, kind: FaultKind::PhantomBurst { count: 10 } },
-            FaultEvent { beat: 5, kind: FaultKind::Blackout { beats: 7 } },
+            FaultEvent {
+                beat: 9,
+                kind: FaultKind::CorruptAllCorrect,
+            },
+            FaultEvent {
+                beat: 3,
+                kind: FaultKind::PhantomBurst { count: 10 },
+            },
+            FaultEvent {
+                beat: 5,
+                kind: FaultKind::Blackout { beats: 7 },
+            },
         ]);
         assert_eq!(plan.events()[0].beat, 3);
         // The blackout stretches to beat 12, past the beat-9 corruption.

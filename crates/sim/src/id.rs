@@ -1,6 +1,5 @@
 //! Node identity and per-node static configuration.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a node in the fully-connected cluster, in `0..n`.
@@ -9,7 +8,7 @@ use std::fmt;
 /// (and implicitly each node's identity) as constants that transient faults
 /// cannot scramble, which is why this type appears in [`NodeCfg`] rather
 /// than in protocol state structs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u16);
 
 impl NodeId {
@@ -49,7 +48,7 @@ impl From<u16> for NodeId {
 
 /// Static, fault-immune configuration every protocol instance is built
 /// with: the node's identity and the cluster constants `n` and `f`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeCfg {
     /// This node's identity.
     pub id: NodeId,

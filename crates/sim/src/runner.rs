@@ -130,13 +130,21 @@ where
                 if let Some(app) = self.apps[i].as_mut() {
                     let mut out = Outbox::new(&mut self.node_rngs[i]);
                     app.send(phase, &mut out);
-                    stamp(NodeId::new(i as u16), out.into_sends(), self.n, &mut envelopes);
+                    stamp(
+                        NodeId::new(i as u16),
+                        out.into_sends(),
+                        self.n,
+                        &mut envelopes,
+                    );
                 }
             }
             {
                 let cur = self.stats.current();
                 cur.correct_msgs += envelopes.len() as u64;
-                cur.correct_bytes += envelopes.iter().map(|e| e.msg.encoded_len() as u64).sum::<u64>();
+                cur.correct_bytes += envelopes
+                    .iter()
+                    .map(|e| e.msg.encoded_len() as u64)
+                    .sum::<u64>();
             }
 
             // --- adversary phase (rushing: sees this phase's traffic) ---
@@ -155,8 +163,10 @@ where
             {
                 let cur = self.stats.current();
                 cur.byz_msgs += byz_envelopes.len() as u64;
-                cur.byz_bytes +=
-                    byz_envelopes.iter().map(|e| e.msg.encoded_len() as u64).sum::<u64>();
+                cur.byz_bytes += byz_envelopes
+                    .iter()
+                    .map(|e| e.msg.encoded_len() as u64)
+                    .sum::<u64>();
                 cur.forged_dropped += forged;
             }
             envelopes.extend(byz_envelopes);
@@ -196,8 +206,11 @@ where
         }
 
         // --- end-of-beat fault events ---
-        let events: Vec<FaultKind> =
-            self.fault_plan.events_at(self.beat).map(|e| e.kind.clone()).collect();
+        let events: Vec<FaultKind> = self
+            .fault_plan
+            .events_at(self.beat)
+            .map(|e| e.kind.clone())
+            .collect();
         for kind in events {
             self.apply_fault(kind);
         }
@@ -351,8 +364,12 @@ mod tests {
         let mut sim = recorder_sim(5, 1, 1, FaultPlan::none());
         sim.run_beats(2);
         for (_, app) in sim.correct_apps() {
-            let froms: Vec<u16> =
-                app.round_trips.iter().take(4).map(|&(_, from, _)| from).collect();
+            let froms: Vec<u16> = app
+                .round_trips
+                .iter()
+                .take(4)
+                .map(|&(_, from, _)| from)
+                .collect();
             let mut sorted = froms.clone();
             sorted.sort_unstable();
             assert_eq!(froms, sorted);
@@ -366,8 +383,11 @@ mod tests {
         for (_, app) in sim.correct_apps() {
             // Phase 0: 3 broadcasts; phase 1: own echo carrying counter+1000
             // computed *after* phase-0 deliveries of the same beat.
-            let phase1: Vec<_> =
-                app.round_trips.iter().filter(|&&(p, _, _)| p == 1).collect();
+            let phase1: Vec<_> = app
+                .round_trips
+                .iter()
+                .filter(|&&(p, _, _)| p == 1)
+                .collect();
             assert_eq!(phase1.len(), 1);
             assert_eq!(phase1[0].2, 1000);
         }
@@ -387,8 +407,7 @@ mod tests {
         let run = || {
             let mut sim = recorder_sim(5, 1, 2, FaultPlan::none());
             sim.run_beats(7);
-            let states: Vec<String> =
-                sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
+            let states: Vec<String> = sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
             let traffic = format!("{:?}", sim.stats().per_beat());
             (states, traffic)
         };
@@ -409,8 +428,10 @@ mod tests {
 
     #[test]
     fn corrupt_all_correct_fault() {
-        let plan =
-            FaultPlan::new(vec![FaultEvent { beat: 0, kind: FaultKind::CorruptAllCorrect }]);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            beat: 0,
+            kind: FaultKind::CorruptAllCorrect,
+        }]);
         let mut sim = recorder_sim(4, 1, 1, plan);
         sim.run_beats(1);
         for (_, app) in sim.correct_apps() {
@@ -452,9 +473,7 @@ mod tests {
     #[test]
     fn run_until_stops_at_predicate() {
         let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
-        let hit = sim.run_until(100, |s| {
-            s.correct_apps().all(|(_, a)| a.counter >= 5)
-        });
+        let hit = sim.run_until(100, |s| s.correct_apps().all(|(_, a)| a.counter >= 5));
         assert_eq!(hit, Some(5));
         // Pre-satisfied predicate returns immediately without stepping.
         let again = sim.run_until(100, |s| s.beat() >= 5);

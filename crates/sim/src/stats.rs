@@ -5,10 +5,8 @@
 //! pipelines), so the simulator counts both envelopes and encoded bytes,
 //! split by correct and Byzantine senders.
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic totals for one beat.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BeatTraffic {
     /// Envelopes sent by correct nodes.
     pub correct_msgs: u64,
@@ -38,7 +36,7 @@ impl BeatTraffic {
 }
 
 /// Per-beat traffic history for a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     beats: Vec<BeatTraffic>,
 }
@@ -49,7 +47,9 @@ impl TrafficStats {
     }
 
     pub(crate) fn current(&mut self) -> &mut BeatTraffic {
-        self.beats.last_mut().expect("begin_beat precedes accounting")
+        self.beats
+            .last_mut()
+            .expect("begin_beat precedes accounting")
     }
 
     /// Traffic of every completed beat, oldest first.
@@ -62,7 +62,11 @@ impl TrafficStats {
         if self.beats.is_empty() {
             return 0.0;
         }
-        self.beats.iter().map(|b| b.correct_msgs as f64).sum::<f64>() / self.beats.len() as f64
+        self.beats
+            .iter()
+            .map(|b| b.correct_msgs as f64)
+            .sum::<f64>()
+            / self.beats.len() as f64
     }
 
     /// Mean correct-node payload bytes per beat over the whole run.
@@ -70,7 +74,11 @@ impl TrafficStats {
         if self.beats.is_empty() {
             return 0.0;
         }
-        self.beats.iter().map(|b| b.correct_bytes as f64).sum::<f64>() / self.beats.len() as f64
+        self.beats
+            .iter()
+            .map(|b| b.correct_bytes as f64)
+            .sum::<f64>()
+            / self.beats.len() as f64
     }
 
     /// Sum of all correct-node envelopes.

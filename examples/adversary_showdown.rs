@@ -1,47 +1,44 @@
 //! Adversary showdown: how different Byzantine strategies affect
-//! `ss-Byz-2-Clock` convergence.
+//! `ss-Byz-2-Clock` convergence — a one-dimensional sweep over the
+//! adversary axis of the scenario grid.
 //!
 //! ```text
 //! cargo run --release --example adversary_showdown
 //! ```
 
-use byzclock::alg::adversary::{
-    EquivocatingAdversary, RandomVoteAdversary, SplitVoteAdversary,
-};
-use byzclock::alg::{run_until_stable_sync, OracleBeacon, TwoClock};
-use byzclock::sim::{Adversary, Application, SilentAdversary, SimBuilder};
-
-fn measure<Adv>(name: &str, make_adv: impl Fn() -> Adv)
-where
-    Adv: Adversary<byzclock::alg::TwoClockMsg<()>>,
-{
-    let trials = 200;
-    let mut samples = Vec::with_capacity(trials);
-    for seed in 0..trials as u64 {
-        let beacon = OracleBeacon::perfect(seed.wrapping_add(90));
-        let mut sim = SimBuilder::new(7, 2).seed(seed).build(
-            move |cfg, rng| {
-                let mut c = TwoClock::new(cfg, beacon.source(cfg.id));
-                c.corrupt(rng);
-                c
-            },
-            make_adv(),
-        );
-        samples.push(run_until_stable_sync(&mut sim, 5_000, 8).expect("2-clock converges"));
-    }
-    samples.sort_unstable();
-    let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-    let p95 = samples[(samples.len() * 95) / 100 - 1];
-    let max = samples.last().copied().unwrap_or(0);
-    println!("{name:<22} mean {mean:>5.1}   p95 {p95:>4}   max {max:>4}");
-}
+use byzclock::scenario::{default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, ScenarioSpec};
 
 fn main() {
     println!("ss-Byz-2-Clock (n=7, f=2, perfect beacon), beats to stable sync over 200 trials\n");
-    measure("silent (crash)", || SilentAdversary);
-    measure("random votes", || RandomVoteAdversary);
-    measure("equivocator", || EquivocatingAdversary);
-    measure("threshold splitter", || SplitVoteAdversary);
+    let registry = default_registry();
+    let sweep = [
+        ("silent (crash)", AdversarySpec::Silent),
+        ("random votes", AdversarySpec::RandomVote),
+        ("equivocator", AdversarySpec::Equivocate),
+        ("threshold splitter", AdversarySpec::SplitVote),
+        ("coin-aware splitter", AdversarySpec::RandAwareSplitter),
+    ];
+    for (name, adversary) in sweep {
+        let spec = ScenarioSpec::new("two-clock", 7, 2)
+            .with_coin(CoinSpec::perfect_oracle())
+            .with_adversary(adversary)
+            .with_faults(FaultPlanSpec::corrupt_start())
+            .with_budget(5_000);
+        let mut samples: Vec<u64> = (0..200u64)
+            .map(|seed| {
+                registry
+                    .run(&spec.clone().with_seed(seed))
+                    .expect("registered protocol")
+                    .beats_to_sync()
+                    .expect("2-clock converges")
+            })
+            .collect();
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let p95 = samples[(samples.len() * 95) / 100 - 1];
+        let max = samples.last().copied().unwrap_or(0);
+        println!("{name:<22} mean {mean:>5.1}   p95 {p95:>4}   max {max:>4}");
+    }
     println!(
         "\nEvery strategy leaves convergence expected-constant (Theorem 2) —\nthe splitter only inflates the constant."
     );

@@ -1,50 +1,81 @@
 //! Quickstart: the paper's full stack on a 7-node cluster with 2 Byzantine
-//! nodes, watching the clocks lock step by step.
+//! nodes, declared as one scenario spec and watched beat by beat.
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- "clock-sync n=10 f=3 k=32 seed=7"
 //! ```
 
-use byzclock::alg::{all_synced, DigitalClock};
-use byzclock::coin::ticket_clock_sync;
-use byzclock::sim::{SilentAdversary, SimBuilder};
+use byzclock::scenario::{Scenario, ScenarioSpec};
 
 fn main() {
-    let (n, f, k) = (7, 2, 64);
-    println!("ss-Byz-Clock-Sync over the GVSS ticket coin: n={n}, f={f}, k={k}");
-    println!("(nodes n5, n6 are Byzantine and stay silent)\n");
-
-    let mut sim = SimBuilder::new(n, f).seed(2026).build(
-        |cfg, rng| {
-            // Self-stabilization: every node starts from scrambled memory.
-            let mut node = ticket_clock_sync(cfg, k, rng);
-            byzclock::sim::Application::corrupt(&mut node, rng);
-            node
-        },
-        SilentAdversary,
+    // The whole experiment is this one line: protocol × cluster × coin ×
+    // adversary × fault plan × seed. Pass your own as the first argument.
+    let line = std::env::args().nth(1).unwrap_or_else(|| {
+        "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start \
+         seed=2026 budget=200"
+            .to_string()
+    });
+    let spec = ScenarioSpec::parse(&line).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!("scenario: {spec}");
+    println!(
+        "(Byzantine nodes: {}; they stay silent under adv=silent)\n",
+        byz_note(&spec)
     );
 
-    println!("beat | clocks (n0..n4)                  | synced?");
+    // Drive the run ourselves to watch the clocks lock step by step; the
+    // registry hands back a type-erased run for any registered protocol.
+    let mut run = Scenario::start(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    println!("beat | clocks (correct nodes)           | synced?");
     println!("-----|----------------------------------|--------");
     let mut synced_streak = 0;
-    for _ in 0..40 {
-        sim.step();
-        let clocks: Vec<u64> = sim.correct_apps().map(|(_, a)| a.full_clock()).collect();
-        let synced = all_synced(sim.correct_apps().map(|(_, a)| a.read()));
-        synced_streak = if synced.is_some() { synced_streak + 1 } else { 0 };
+    for _ in 0..spec.beat_budget {
+        run.step();
+        let clocks: Vec<String> = run
+            .clock_readings()
+            .iter()
+            .map(|c| c.map_or("⊥".to_string(), |v| v.to_string()))
+            .collect();
+        let synced = run.synced();
+        synced_streak = if synced.is_some() {
+            synced_streak + 1
+        } else {
+            0
+        };
         println!(
             "{:>4} | {:<32} | {}",
-            sim.beat(),
-            clocks.iter().map(u64::to_string).collect::<Vec<_>>().join(" "),
+            run.beat(),
+            clocks.join(" "),
             synced.map_or("no".to_string(), |v| format!("yes ({v})")),
         );
         if synced_streak >= 12 {
             break;
         }
     }
+
+    // The same spec, one call: Scenario::run gives the full report.
+    let report = Scenario::run(&spec).expect("protocol registered");
     println!(
-        "\nClock-synched and incrementing (Definition 3.2). Traffic: {:.0} msgs/beat, {:.0} bytes/beat.",
-        sim.stats().mean_correct_msgs_per_beat(),
-        sim.stats().mean_correct_bytes_per_beat()
+        "\nClock-synched and incrementing (Definition 3.2) at beat {:?}.",
+        report.converged_at
     );
+    println!(
+        "Traffic: {:.0} msgs/beat, {:.0} bytes/beat. Report JSON:\n{}",
+        report.traffic.mean_correct_msgs_per_beat,
+        report.traffic.mean_correct_bytes_per_beat,
+        report.to_json()
+    );
+}
+
+fn byz_note(spec: &ScenarioSpec) -> String {
+    match &spec.byzantine {
+        Some(ids) => format!("{ids:?}"),
+        None => format!("the {} highest ids (default)", spec.f),
+    }
 }

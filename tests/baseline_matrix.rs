@@ -50,7 +50,10 @@ fn pk_clock_convergence_grows_with_f() {
     };
     let small = measure(4, 1);
     let large = measure(13, 4);
-    assert!(large > small, "O(f) slope missing: f=1 {small} vs f=4 {large}");
+    assert!(
+        large > small,
+        "O(f) slope missing: f=1 {small} vs f=4 {large}"
+    );
 }
 
 /// Queen clock under its designed conditions, with an actively
@@ -58,17 +61,17 @@ fn pk_clock_convergence_grows_with_f() {
 #[test]
 fn queen_clock_tolerates_byzantine_queen_within_budget() {
     for seed in 0..3u64 {
-        let mut sim = SimBuilder::new(5, 1)
-            .seed(seed)
-            .byzantine([0u16])
-            .build(
-                |cfg, rng| {
-                    let mut c = QueenClock::new(QueenScheme::new(cfg), 16);
-                    c.corrupt(rng);
-                    c
-                },
-                BaEquivocator { depth: 4, mixed_bits: false },
-            );
+        let mut sim = SimBuilder::new(5, 1).seed(seed).byzantine([0u16]).build(
+            |cfg, rng| {
+                let mut c = QueenClock::new(QueenScheme::new(cfg), 16);
+                c.corrupt(rng);
+                c
+            },
+            BaEquivocator {
+                depth: 4,
+                mixed_bits: false,
+            },
+        );
         assert!(
             run_until_stable_sync(&mut sim, 2_000, 8).is_some(),
             "seed {seed}: queen clock failed within its resiliency"
@@ -97,7 +100,10 @@ fn dw_clock_slows_with_k() {
     };
     let fast = measure(2);
     let slow = measure(8);
-    assert!(slow > fast, "k-dependence missing: k=2 {fast} vs k=8 {slow}");
+    assert!(
+        slow > fast,
+        "k-dependence missing: k=2 {fast} vs k=8 {slow}"
+    );
 }
 
 /// All clocks share the observer interface: moduli and readings line up.

@@ -1,12 +1,8 @@
 //! Statistical and structural properties of the common coin at the system
 //! level (Definition 2.6/2.7 contract over the real simulator).
 
-use byzclock::coin::{
-    coin_stats, measure_coin, CoinApp, TicketCoinScheme, XorCoinScheme,
-};
-use byzclock::sim::{
-    FaultEvent, FaultKind, FaultPlan, SilentAdversary, SimBuilder, Visibility,
-};
+use byzclock::coin::{coin_stats, measure_coin, CoinApp, TicketCoinScheme, XorCoinScheme};
+use byzclock::sim::{FaultEvent, FaultKind, FaultPlan, SilentAdversary, SimBuilder, Visibility};
 
 /// Events E0 and E1 both occur with constant probability (Def. 2.7), for
 /// several cluster sizes.
@@ -46,8 +42,10 @@ fn xor_coin_fairness() {
 /// (Lemma 1 / Theorem 1).
 #[test]
 fn coin_stream_heals_after_corruption() {
-    let plan =
-        FaultPlan::new(vec![FaultEvent { beat: 30, kind: FaultKind::CorruptAllCorrect }]);
+    let plan = FaultPlan::new(vec![FaultEvent {
+        beat: 30,
+        kind: FaultKind::CorruptAllCorrect,
+    }]);
     let mut sim = SimBuilder::new(7, 2).seed(13).faults(plan).build(
         |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
         SilentAdversary,
@@ -76,10 +74,17 @@ fn stream_is_not_degenerate() {
     let (_, app) = sim.correct_apps().next().unwrap();
     let bits = &app.history()[4..];
     let ones = bits.iter().filter(|&&b| b).count();
-    assert!(ones > 5 && ones < bits.len() - 5, "degenerate stream: {ones}/{}", bits.len());
+    assert!(
+        ones > 5 && ones < bits.len() - 5,
+        "degenerate stream: {ones}/{}",
+        bits.len()
+    );
     // Not alternating either.
     let alternations = bits.windows(2).filter(|w| w[0] != w[1]).count();
-    assert!(alternations < bits.len() - 8, "suspiciously periodic stream");
+    assert!(
+        alternations < bits.len() - 8,
+        "suspiciously periodic stream"
+    );
 }
 
 /// Omniscient visibility (a what-if beyond the model) still cannot change
@@ -90,7 +95,10 @@ fn binding_survives_omniscient_visibility() {
         let mut sim = SimBuilder::new(7, 2)
             .seed(21)
             .visibility(Visibility::Omniscient)
-            .build(|cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng), SilentAdversary);
+            .build(
+                |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
+                SilentAdversary,
+            );
         sim.run_beats(60);
         coin_stats(&sim, 4)
     };

@@ -1,60 +1,70 @@
 //! Cross-crate integration: the paper's full construction (GVSS ticket
-//! coin → pipelined coin → 2-clock → 4-clock → k-clock) under adversaries.
+//! coin → pipelined coin → 2-clock → 4-clock → k-clock) under adversaries,
+//! driven end to end through the scenario API.
 
-use byzclock::alg::adversary::{
-    EquivocatingAdversary, RandomVoteAdversary, SplitVoteAdversary,
+use byzclock::scenario::{
+    default_registry, AdversarySpec, ProtocolRegistry, Scenario, ScenarioSpec,
 };
-use byzclock::alg::{all_synced, run_until_stable_sync, DigitalClock};
-use byzclock::coin::{ticket_clock_sync, TicketClockSync};
-use byzclock::sim::{Adversary, Application, SilentAdversary, SimBuilder, Simulation};
 
-fn build<Adv: Adversary<<TicketClockSync as Application>::Msg>>(
-    n: usize,
-    f: usize,
-    k: u64,
-    seed: u64,
-    adv: Adv,
-) -> Simulation<TicketClockSync, Adv> {
-    SimBuilder::new(n, f).seed(seed).build(
-        |cfg, rng| {
-            let mut c = ticket_clock_sync(cfg, k, rng);
-            c.corrupt(rng);
-            c
-        },
-        adv,
-    )
+fn spec(n: usize, f: usize, k: u64, seed: u64, adversary: AdversarySpec) -> ScenarioSpec {
+    // Defaults: ticket coin, corrupted start — the paper's measurement
+    // setup for the full stack.
+    ScenarioSpec::new("clock-sync", n, f)
+        .with_modulus(k)
+        .with_adversary(adversary)
+        .with_seed(seed)
+        .with_budget(3_000)
+}
+
+fn converges(registry: &ProtocolRegistry, spec: &ScenarioSpec) -> bool {
+    registry
+        .run(spec)
+        .expect("clock-sync registered")
+        .converged_at
+        .is_some()
 }
 
 #[test]
 fn converges_under_silent_adversary() {
+    let registry = default_registry();
     for seed in 0..4 {
-        let mut sim = build(7, 2, 32, seed, SilentAdversary);
-        let t = run_until_stable_sync(&mut sim, 3_000, 8);
-        assert!(t.is_some(), "seed {seed}: full stack failed to converge");
+        assert!(
+            converges(&registry, &spec(7, 2, 32, seed, AdversarySpec::Silent)),
+            "seed {seed}: full stack failed to converge"
+        );
     }
 }
 
 #[test]
 fn converges_under_random_votes() {
+    let registry = default_registry();
     for seed in 0..3 {
-        let mut sim = build(7, 2, 32, seed, RandomVoteAdversary);
-        assert!(run_until_stable_sync(&mut sim, 3_000, 8).is_some(), "seed {seed}");
+        assert!(
+            converges(&registry, &spec(7, 2, 32, seed, AdversarySpec::RandomVote)),
+            "seed {seed}"
+        );
     }
 }
 
 #[test]
 fn converges_under_equivocation() {
+    let registry = default_registry();
     for seed in 0..3 {
-        let mut sim = build(7, 2, 32, seed, EquivocatingAdversary);
-        assert!(run_until_stable_sync(&mut sim, 3_000, 8).is_some(), "seed {seed}");
+        assert!(
+            converges(&registry, &spec(7, 2, 32, seed, AdversarySpec::Equivocate)),
+            "seed {seed}"
+        );
     }
 }
 
 #[test]
 fn converges_under_threshold_splitter() {
+    let registry = default_registry();
     for seed in 0..3 {
-        let mut sim = build(7, 2, 32, seed, SplitVoteAdversary);
-        assert!(run_until_stable_sync(&mut sim, 3_000, 8).is_some(), "seed {seed}");
+        assert!(
+            converges(&registry, &spec(7, 2, 32, seed, AdversarySpec::SplitVote)),
+            "seed {seed}"
+        );
     }
 }
 
@@ -62,68 +72,54 @@ fn converges_under_threshold_splitter() {
 /// (mod k) for a long horizon.
 #[test]
 fn closure_holds_for_long_horizon() {
-    let mut sim = build(7, 2, 16, 5, SilentAdversary);
-    run_until_stable_sync(&mut sim, 3_000, 8).expect("converged");
-    let mut v = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
+    let spec = spec(7, 2, 16, 5, AdversarySpec::Silent);
+    let mut run = Scenario::start(&spec).expect("clock-sync registered");
+    let report = byzclock::scenario::drive(run.as_mut(), &spec, 8);
+    report.converged_at.expect("converged");
+    let mut v = run.synced().expect("synced at convergence");
     for _ in 0..200 {
-        sim.step();
-        let next =
-            all_synced(sim.correct_apps().map(|(_, a)| a.read())).expect("closure violated");
+        run.step();
+        let next = run.synced().expect("closure violated");
         assert_eq!(next, (v + 1) % 16);
         v = next;
     }
 }
 
-/// Determinism: identical seeds replay the identical run, different seeds
-/// differ (Monte-Carlo validity).
+/// Determinism: identical specs replay the identical run; different seeds
+/// still converge (Monte-Carlo validity).
 #[test]
 fn runs_are_deterministic_in_the_seed() {
+    let registry = default_registry();
     let run = |seed: u64| {
-        let mut sim = build(4, 1, 8, seed, SilentAdversary);
-        let t = run_until_stable_sync(&mut sim, 3_000, 8);
-        let clocks: Vec<_> = sim.correct_apps().map(|(_, a)| a.full_clock()).collect();
-        (t, clocks, sim.stats().total_correct_msgs())
+        registry
+            .run(&spec(4, 1, 8, seed, AdversarySpec::Silent))
+            .unwrap()
     };
     assert_eq!(run(42), run(42));
-    let (_, _, msgs_a) = run(42);
-    let (_, _, msgs_b) = run(43);
-    // Same protocol, same topology: traffic counts match even across seeds
-    // (message complexity is deterministic); convergence beats may differ.
-    let (ta, ..) = run(42);
-    let (tb, ..) = run(43);
-    assert!(ta.is_some() && tb.is_some());
-    let _ = (msgs_a, msgs_b);
+    assert!(run(42).converged_at.is_some());
+    assert!(run(43).converged_at.is_some());
 }
 
-/// The recursive §5 construction and the main construction agree on what a
-/// clock is: both settle and tick mod their respective moduli.
+/// The recursive §5 construction over real GVSS coins converges and
+/// reports through the same API as the main construction.
 #[test]
 fn recursive_clock_full_stack() {
-    use byzclock::alg::RecursiveClock;
-    let mut sim = SimBuilder::new(4, 1).seed(9).build(
-        |cfg, rng| {
-            let mut levels_rng = rng.clone();
-            RecursiveClock::new(cfg, 3, move |_| {
-                byzclock::coin::ticket_coin(cfg, &mut levels_rng)
-            })
-        },
-        SilentAdversary,
+    let spec = ScenarioSpec::new("recursive", 4, 1)
+        .with_modulus(8)
+        .with_seed(9)
+        .with_budget(6_000);
+    let report = Scenario::run(&spec).expect("recursive/ticket registered");
+    assert!(
+        report.converged_at.is_some(),
+        "recursive 8-clock over GVSS coins failed to converge: {report:?}"
     );
-    let t = run_until_stable_sync(&mut sim, 6_000, 8);
-    assert!(t.is_some(), "recursive 8-clock over GVSS coins failed to converge");
 }
 
 /// Remark 4.1 variant at full scale.
 #[test]
 fn shared_four_clock_full_stack() {
-    use byzclock::alg::SharedFourClock;
-    let mut sim = SimBuilder::new(7, 2).seed(3).build(
-        |cfg, rng| {
-            let mut c = SharedFourClock::new(cfg, byzclock::coin::ticket_coin(cfg, rng));
-            c.corrupt(rng);
-            c
-        },
-        SilentAdversary,
-    );
-    assert!(run_until_stable_sync(&mut sim, 3_000, 8).is_some());
+    let spec = ScenarioSpec::new("shared-four-clock", 7, 2)
+        .with_seed(3)
+        .with_budget(3_000);
+    assert!(Scenario::run(&spec).unwrap().converged_at.is_some());
 }

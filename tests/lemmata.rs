@@ -55,15 +55,17 @@ fn lemma_3_safe_beats_give_single_value() {
         let safe = rands.windows(2).all(|w| w[0] == w[1]);
         if safe {
             safe_beats += 1;
-            let definite: Vec<u64> =
-                sim.correct_apps().filter_map(|(_, a)| a.read()).collect();
+            let definite: Vec<u64> = sim.correct_apps().filter_map(|(_, a)| a.read()).collect();
             assert!(
                 definite.windows(2).all(|w| w[0] == w[1]),
                 "two definite values after a safe beat: {definite:?}"
             );
         }
     }
-    assert!(safe_beats >= 20, "the GVSS coin should make most beats safe: {safe_beats}/60");
+    assert!(
+        safe_beats >= 20,
+        "the GVSS coin should make most beats safe: {safe_beats}/60"
+    );
 }
 
 /// Theorem 2's high-probability form (Remark 3.2): over many seeds the
@@ -82,15 +84,23 @@ fn theorem_2_tail_decays() {
             SilentAdversary,
         );
         let t = sim
-            .run_until(2_000, |s| all_synced(s.correct_apps().map(|(_, a)| a.read())).is_some())
+            .run_until(2_000, |s| {
+                all_synced(s.correct_apps().map(|(_, a)| a.read())).is_some()
+            })
             .expect("2-clock converges");
         times.push(t);
     }
     times.sort_unstable();
     let median = times[times.len() / 2];
     let max = *times.last().unwrap();
-    assert!(median <= 30, "median convergence {median} not constant-like");
-    assert!(max <= 40 * median.max(4), "tail too heavy: median {median}, max {max}");
+    assert!(
+        median <= 30,
+        "median convergence {median} not constant-like"
+    );
+    assert!(
+        max <= 40 * median.max(4),
+        "tail too heavy: median {median}, max {max}"
+    );
 }
 
 /// Observation 3.1 at the system level: no beat ever certifies two

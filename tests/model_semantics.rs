@@ -4,8 +4,8 @@
 use byzclock::alg::{OracleBeacon, Trit, TwoClock, TwoClockMsg};
 use byzclock::coin::{ticket_two_clock, TicketTwoClock};
 use byzclock::sim::{
-    Adversary, AdversaryView, Application, ByzOutbox, Envelope, NodeId, SimBuilder,
-    Visibility, Wire,
+    Adversary, AdversaryView, Application, ByzOutbox, Envelope, NodeId, SimBuilder, Visibility,
+    Wire,
 };
 
 /// An adversary that records what it is allowed to observe.
@@ -24,7 +24,8 @@ impl Adversary<Msg> for &Peeker {
             let to_byz = view.is_byzantine(e.to);
             if !to_byz {
                 // Under private channels this must never happen.
-                self.saw_unicast_between_correct.store(true, Ordering::Relaxed);
+                self.saw_unicast_between_correct
+                    .store(true, Ordering::Relaxed);
             }
             if matches!(e.msg, TwoClockMsg::Clock(_)) {
                 self.saw_broadcast_content.store(true, Ordering::Relaxed);
@@ -51,10 +52,15 @@ fn private_channels_hide_correct_unicasts_but_show_broadcasts() {
     {
         let mut sim = SimBuilder::new(7, 2)
             .seed(4)
-            .build(|cfg, rng| ticket_two_clock(cfg, rng), &peeker);
+            .build(ticket_two_clock, &peeker);
         sim.run_beats(10);
         // Forged envelope was counted and dropped.
-        let forged: u64 = sim.stats().per_beat().iter().map(|b| b.forged_dropped).sum();
+        let forged: u64 = sim
+            .stats()
+            .per_beat()
+            .iter()
+            .map(|b| b.forged_dropped)
+            .sum();
         assert_eq!(forged, 1, "exactly one forgery attempt must be recorded");
     }
     use std::sync::atomic::Ordering;
@@ -79,7 +85,7 @@ fn omniscient_mode_sees_everything() {
         let mut sim = SimBuilder::new(7, 2)
             .seed(4)
             .visibility(Visibility::Omniscient)
-            .build(|cfg, rng| ticket_two_clock(cfg, rng), &peeker);
+            .build(ticket_two_clock, &peeker);
         sim.run_beats(5);
     }
     use std::sync::atomic::Ordering;
@@ -115,6 +121,10 @@ fn wire_encoding_does_not_affect_payloads() {
     let mut buf = bytes::BytesMut::new();
     msg.encode(&mut buf);
     assert_eq!(buf.len(), msg.encoded_len());
-    let e = Envelope { from: NodeId::new(0), to: NodeId::new(1), msg: msg.clone() };
+    let e = Envelope {
+        from: NodeId::new(0),
+        to: NodeId::new(1),
+        msg: msg.clone(),
+    };
     assert_eq!(e.msg, msg);
 }

@@ -88,7 +88,10 @@ fn boundary_f_equals_n_thirds_degrades() {
     };
     let legal = success_rate(7, 2);
     let boundary = success_rate(6, 2);
-    assert!(legal >= 7, "legal configuration should almost always converge: {legal}/8");
+    assert!(
+        legal >= 7,
+        "legal configuration should almost always converge: {legal}/8"
+    );
     assert!(
         boundary <= legal.saturating_sub(4),
         "f = n/3 should be clearly degraded: legal {legal}/8 vs boundary {boundary}/8"

@@ -1,0 +1,248 @@
+//! The scenario layer's cross-crate contract: every registered protocol is
+//! reachable from a spec line, errors are precise, and reports are
+//! deterministic functions of the spec.
+
+use byzclock::scenario::{
+    default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, RunReport, Scenario, ScenarioError,
+    ScenarioSpec,
+};
+
+/// One known-good spec line per registered protocol name.
+fn representative_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "two-clock",
+            ScenarioSpec::new("two-clock", 4, 1)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_budget(500),
+        ),
+        (
+            "broken-two-clock",
+            ScenarioSpec::new("broken-two-clock", 4, 1)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_budget(500),
+        ),
+        (
+            "four-clock",
+            ScenarioSpec::new("four-clock", 4, 1)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_budget(800),
+        ),
+        (
+            "clock-sync",
+            ScenarioSpec::new("clock-sync", 4, 1)
+                .with_modulus(16)
+                .with_budget(1_500),
+        ),
+        (
+            "recursive",
+            ScenarioSpec::new("recursive", 4, 1)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_budget(2_000),
+        ),
+        (
+            "shared-four-clock",
+            ScenarioSpec::new("shared-four-clock", 4, 1).with_budget(1_500),
+        ),
+        (
+            "coin-stream",
+            ScenarioSpec::new("coin-stream", 4, 1)
+                .with_faults(FaultPlanSpec::none())
+                .with_budget(24),
+        ),
+        (
+            "dw-clock",
+            ScenarioSpec::new("dw-clock", 4, 1)
+                .with_modulus(2)
+                .with_coin(CoinSpec::Local)
+                .with_budget(50_000),
+        ),
+        (
+            "queen-clock",
+            ScenarioSpec::new("queen-clock", 5, 1)
+                .with_coin(CoinSpec::None)
+                .with_budget(500),
+        ),
+        (
+            "pk-clock",
+            ScenarioSpec::new("pk-clock", 4, 1)
+                .with_coin(CoinSpec::None)
+                .with_budget(500),
+        ),
+    ]
+}
+
+/// Every name in the default registry has a representative spec here, and
+/// every representative spec round-trips: spec → line → spec → run →
+/// report echoing the exact spec line.
+#[test]
+fn every_registered_protocol_round_trips() {
+    let registry = default_registry();
+    let specs = representative_specs();
+    let mut names = registry.names();
+    names.sort();
+    let mut covered: Vec<String> = specs.iter().map(|(n, _)| n.to_string()).collect();
+    covered.sort();
+    assert_eq!(
+        names, covered,
+        "registry names and representative specs diverged"
+    );
+
+    for (name, spec) in specs {
+        assert_eq!(spec.protocol, name);
+        let line = spec.to_string();
+        let reparsed = ScenarioSpec::parse(&line)
+            .unwrap_or_else(|e| panic!("{name}: line `{line}` failed to parse: {e}"));
+        assert_eq!(reparsed, spec, "{name}: spec line round trip");
+        let report = registry
+            .run(&spec)
+            .unwrap_or_else(|e| panic!("{name}: spec `{line}` failed to run: {e}"));
+        assert_eq!(report.spec, line, "{name}: report echoes the spec line");
+        assert!(report.beats > 0, "{name}: ran no beats");
+        if name == "coin-stream" {
+            assert!(
+                report.converged_at.is_none(),
+                "{name}: coin stream has no clock"
+            );
+            assert!(report.extra("agreement_rate").is_some());
+        } else {
+            assert!(
+                report.converged_at.is_some(),
+                "{name}: expected convergence within budget; report {report:?}"
+            );
+        }
+    }
+}
+
+/// Unknown names fail with the catalog; wrong coins and wrong adversaries
+/// fail with the precise category.
+#[test]
+fn error_paths_are_precise() {
+    let registry = default_registry();
+
+    match registry.run(&ScenarioSpec::new("nonexistent-clock", 4, 1)) {
+        Err(ScenarioError::UnknownProtocol { name, known }) => {
+            assert_eq!(name, "nonexistent-clock");
+            for expected in ["two-clock", "clock-sync", "coin-stream", "dw-clock"] {
+                assert!(
+                    known.iter().any(|k| k == expected),
+                    "missing {expected} in {known:?}"
+                );
+            }
+        }
+        other => panic!("expected UnknownProtocol, got {other:?}"),
+    }
+
+    // queen-clock is deterministic: a ticket coin is a category error.
+    match registry.run(&ScenarioSpec::new("queen-clock", 5, 1).with_coin(CoinSpec::Ticket)) {
+        Err(ScenarioError::UnsupportedCoin { protocol, .. }) => {
+            assert_eq!(protocol, "queen-clock")
+        }
+        other => panic!("expected UnsupportedCoin, got {other:?}"),
+    }
+
+    // Coin-round attacks do not apply to clock protocols.
+    match registry.run(
+        &ScenarioSpec::new("clock-sync", 4, 1).with_adversary(AdversarySpec::InconsistentDealer),
+    ) {
+        Err(ScenarioError::UnsupportedAdversary { protocol, .. }) => {
+            assert_eq!(protocol, "clock-sync")
+        }
+        other => panic!("expected UnsupportedAdversary, got {other:?}"),
+    }
+
+    // The coin-aware splitter needs an oracle coin to peek at.
+    match registry.run(
+        &ScenarioSpec::new("two-clock", 7, 2)
+            .with_coin(CoinSpec::Ticket)
+            .with_adversary(AdversarySpec::RandAwareSplitter),
+    ) {
+        Err(ScenarioError::UnsupportedAdversary { .. }) => {}
+        other => panic!("expected UnsupportedAdversary, got {other:?}"),
+    }
+
+    // Structural validation fires before family resolution.
+    match registry.run(&ScenarioSpec::new("clock-sync", 4, 4)) {
+        Err(ScenarioError::InvalidSpec(msg)) => assert!(msg.contains("fault budget")),
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+    match registry.run(&ScenarioSpec::new("clock-sync", 4, 1).with_byzantine([0, 0])) {
+        Err(ScenarioError::InvalidSpec(msg)) => assert!(msg.contains("duplicate")),
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+
+    // Parse errors name the offending fragment.
+    match ScenarioSpec::parse("two-clock n=4 adv=meteor-strike") {
+        Err(ScenarioError::Parse(msg)) => assert!(msg.contains("meteor-strike")),
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+/// The determinism pin the acceptance criteria name: a fixed spec + seed
+/// produces an identical `RunReport`, and the report survives a JSON dump.
+#[test]
+fn fixed_spec_and_seed_pin_the_report() {
+    let spec = ScenarioSpec::parse(
+        "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start seed=42 budget=2000",
+    )
+    .unwrap();
+    let a = Scenario::run(&spec).unwrap();
+    let b = Scenario::run(&spec).unwrap();
+    assert_eq!(a, b, "same spec+seed must replay bit-identically");
+    assert!(a.converged_at.is_some());
+
+    // Seeds matter: a different seed gives a different trajectory (clock
+    // readings and convergence beat may coincide, but the full report —
+    // traffic included — must not).
+    let c = Scenario::run(&spec.clone().with_seed(43)).unwrap();
+    assert_ne!(a, c, "different seeds must not replay the same run");
+
+    // JSON dump carries the headline numbers.
+    let json = a.to_json();
+    assert!(json.contains("\"spec\""));
+    assert!(json.contains("\"converged_at\""));
+    assert!(json.contains("\"mean_correct_msgs_per_beat\""));
+}
+
+/// Adversary sweeps through the registry preserve the paper's headline:
+/// the full stack converges under every clock-layer adversary.
+#[test]
+fn full_stack_converges_under_every_clock_adversary() {
+    let registry = default_registry();
+    for adversary in [
+        AdversarySpec::Silent,
+        AdversarySpec::RandomVote,
+        AdversarySpec::Equivocate,
+        AdversarySpec::SplitVote,
+    ] {
+        let spec = ScenarioSpec::new("clock-sync", 4, 1)
+            .with_modulus(8)
+            .with_adversary(adversary)
+            .with_seed(1)
+            .with_budget(3_000);
+        let report = registry.run(&spec).unwrap();
+        assert!(
+            report.converged_at.is_some(),
+            "stalled under {adversary}: {report:?}"
+        );
+    }
+}
+
+/// `beats_to_sync` measures from the end of the last scheduled fault, so
+/// recovery scenarios report recovery time, not absolute beats.
+#[test]
+fn recovery_reports_measure_from_the_fault() {
+    let spec = ScenarioSpec::new("clock-sync", 4, 1)
+        .with_modulus(16)
+        .with_faults(FaultPlanSpec::storm(40, 60))
+        .with_seed(5)
+        .with_budget(3_000);
+    let report: RunReport = Scenario::run(&spec).unwrap();
+    let converged = report.converged_at.expect("recovers");
+    assert!(
+        converged >= 41,
+        "tracking must not start before the fault clears"
+    );
+    assert_eq!(report.beats_to_sync(), Some(converged - 41));
+}

@@ -10,17 +10,22 @@ use byzclock::sim::{
 
 fn storm(at: u64) -> FaultPlan {
     FaultPlan::new(vec![
-        FaultEvent { beat: at, kind: FaultKind::CorruptAllCorrect },
-        FaultEvent { beat: at, kind: FaultKind::PhantomBurst { count: 120 } },
-        FaultEvent { beat: at + 1, kind: FaultKind::Blackout { beats: 2 } },
+        FaultEvent {
+            beat: at,
+            kind: FaultKind::CorruptAllCorrect,
+        },
+        FaultEvent {
+            beat: at,
+            kind: FaultKind::PhantomBurst { count: 120 },
+        },
+        FaultEvent {
+            beat: at + 1,
+            kind: FaultKind::Blackout { beats: 2 },
+        },
     ])
 }
 
-fn recovers<A, Adv>(
-    mut sim: byzclock::sim::Simulation<A, Adv>,
-    fault_at: u64,
-    horizon: u64,
-) -> bool
+fn recovers<A, Adv>(mut sim: byzclock::sim::Simulation<A, Adv>, fault_at: u64, horizon: u64) -> bool
 where
     A: Application + DigitalClock,
     Adv: Adversary<A::Msg>,
@@ -32,10 +37,10 @@ where
 #[test]
 fn full_stack_recovers_from_fault_storm() {
     for seed in 0..3 {
-        let sim = SimBuilder::new(7, 2).seed(seed).faults(storm(40)).build(
-            |cfg, rng| ticket_clock_sync(cfg, 32, rng),
-            SilentAdversary,
-        );
+        let sim = SimBuilder::new(7, 2)
+            .seed(seed)
+            .faults(storm(40))
+            .build(|cfg, rng| ticket_clock_sync(cfg, 32, rng), SilentAdversary);
         assert!(recovers(sim, 40, 3_000), "seed {seed}: no recovery");
     }
 }
@@ -64,10 +69,10 @@ fn deterministic_clock_recovers_in_o_f() {
 
 #[test]
 fn dw_clock_recovers_eventually() {
-    let sim = SimBuilder::new(4, 1).seed(3).faults(storm(20)).build(
-        |cfg, _rng| DwClock::new(cfg, 2),
-        SilentAdversary,
-    );
+    let sim = SimBuilder::new(4, 1)
+        .seed(3)
+        .faults(storm(20))
+        .build(|cfg, _rng| DwClock::new(cfg, 2), SilentAdversary);
     assert!(recovers(sim, 20, 20_000));
 }
 
@@ -76,13 +81,19 @@ fn dw_clock_recovers_eventually() {
 fn survives_repeated_storms() {
     let mut plan = FaultPlan::none();
     for at in [30u64, 80, 130] {
-        plan.push(FaultEvent { beat: at, kind: FaultKind::CorruptAllCorrect });
-        plan.push(FaultEvent { beat: at, kind: FaultKind::PhantomBurst { count: 50 } });
+        plan.push(FaultEvent {
+            beat: at,
+            kind: FaultKind::CorruptAllCorrect,
+        });
+        plan.push(FaultEvent {
+            beat: at,
+            kind: FaultKind::PhantomBurst { count: 50 },
+        });
     }
-    let mut sim = SimBuilder::new(7, 2).seed(4).faults(plan).build(
-        |cfg, rng| ticket_clock_sync(cfg, 16, rng),
-        SilentAdversary,
-    );
+    let mut sim = SimBuilder::new(7, 2)
+        .seed(4)
+        .faults(plan)
+        .build(|cfg, rng| ticket_clock_sync(cfg, 16, rng), SilentAdversary);
     for window_end in [80u64, 130, 230] {
         let t = run_until_stable_sync(&mut sim, window_end, 8);
         assert!(t.is_some(), "no re-convergence before beat {window_end}");
@@ -99,10 +110,10 @@ fn partial_corruption_recovers() {
         beat: 35,
         kind: FaultKind::CorruptNodes(vec![NodeId::new(0), NodeId::new(1)]),
     }]);
-    let mut sim = SimBuilder::new(7, 2).seed(6).faults(plan).build(
-        |cfg, rng| ticket_clock_sync(cfg, 32, rng),
-        SilentAdversary,
-    );
+    let mut sim = SimBuilder::new(7, 2)
+        .seed(6)
+        .faults(plan)
+        .build(|cfg, rng| ticket_clock_sync(cfg, 32, rng), SilentAdversary);
     sim.run_beats(36);
     assert!(run_until_stable_sync(&mut sim, 2_000, 8).is_some());
 }

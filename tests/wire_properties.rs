@@ -2,12 +2,12 @@
 //! declared `encoded_len` always equals the actual encoding length (the
 //! message-complexity experiment M1 depends on it).
 
+use bytes::BytesMut;
 use byzclock::alg::{
     ClockSyncMsg, FourClockMsg, LevelMsg, SharedFourClockMsg, SlotMsg, Trit, TwoClockMsg,
 };
 use byzclock::coin::CoinMsg;
 use byzclock::sim::Wire;
-use bytes::BytesMut;
 use proptest::prelude::*;
 
 fn actual_len<T: Wire>(v: &T) -> usize {
