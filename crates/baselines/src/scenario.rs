@@ -162,6 +162,23 @@ mod tests {
     }
 
     #[test]
+    fn baseline_clocks_accept_the_delay_knob() {
+        // The Table 1 comparators run under bounded delay too (builder_for
+        // threads the timing model); a 2-beat window stretches but does not
+        // break the O(f) phase-king pipeline at this size.
+        let spec = ScenarioSpec::parse(
+            "pk-clock n=4 f=1 k=8 coin=none adv=silent faults=corrupt-start delay=2 \
+             seed=3 budget=4000",
+        )
+        .unwrap();
+        let registry = registry();
+        let report = registry.run(&spec).unwrap();
+        assert_eq!(report.extra("delay_window"), Some(2.0));
+        assert!(report.extra("mean_delay").unwrap() > 0.0);
+        assert_eq!(registry.run(&spec).unwrap(), report, "deterministic");
+    }
+
+    #[test]
     fn dw_requires_local_coins() {
         let spec = ScenarioSpec::parse("dw-clock n=4 f=1 k=2 coin=ticket budget=100").unwrap();
         match registry().run(&spec) {

@@ -2,8 +2,10 @@
 //! EXPERIMENTS.md).
 //!
 //! ```text
-//! cargo run --release -p byzclock-bench --bin experiments -- [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|all]
-//! cargo run --release -p byzclock-bench --bin experiments -- spec "<scenario line>"
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|all]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! ```
 //!
 //! Every run is constructed through the scenario API — a
@@ -11,27 +13,42 @@
 //! table cell is a replayable one-line spec (pass one back with `spec` to
 //! rerun a single point). Knobs: `BYZCLOCK_TRIALS` (trial count scale),
 //! `BYZCLOCK_THREADS`.
+//!
+//! `--jsonl` switches the output to one [`RunReport::to_json`] line per
+//! executed spec — stable key order, diffable across runs and PRs.
+//! It applies to the `spec` subcommand and to the sweep-based `d1` grid;
+//! the hand-aggregated paper tables always render Markdown.
 
 use byzclock::scenario::{
     default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, ProtocolRegistry, RunReport,
     ScenarioSpec,
 };
-use byzclock_bench::{default_threads, md_table, parallel_trials, trials, Summary};
+use byzclock_bench::{default_threads, md_table, parallel_trials, sweep, trials, Summary};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl = args.iter().any(|a| a == "--jsonl");
+    args.retain(|a| a != "--jsonl");
     let which = args.first().map(String::as_str).unwrap_or("all");
     if which == "spec" {
-        run_single_spec(args.get(1).map(String::as_str));
+        run_spec_lines(&args[1..]);
         return;
     }
+    if jsonl && which != "d1" {
+        // The hand-aggregated paper tables have no JSONL form; refusing
+        // beats silently mixing Markdown and JSON on one stream.
+        eprintln!("--jsonl applies to `spec` and the sweep-based `d1` grid only");
+        std::process::exit(2);
+    }
     let run_all = which == "all";
-    println!("# byzclock experiments — PODC'08 reproduction\n");
-    println!(
-        "(trials scale: BYZCLOCK_TRIALS={}, threads: {}; every cell is a scenario spec)\n",
-        trials(1),
-        default_threads()
-    );
+    if !jsonl {
+        println!("# byzclock experiments — PODC'08 reproduction\n");
+        println!(
+            "(trials scale: BYZCLOCK_TRIALS={}, threads: {}; every cell is a scenario spec)\n",
+            trials(1),
+            default_threads()
+        );
+    }
     if run_all || which == "t1" {
         t1_table_1();
     }
@@ -62,27 +79,34 @@ fn main() {
     if run_all || which == "m1" {
         m1_message_complexity();
     }
+    if run_all || which == "d1" {
+        d1_bounded_delay_grid(jsonl);
+    }
 }
 
-/// `experiments spec "<line>"`: run one scenario and dump its report JSON.
-fn run_single_spec(line: Option<&str>) {
-    let Some(line) = line else {
-        eprintln!("usage: experiments spec \"<scenario line>\"");
-        eprintln!("example: experiments spec \"clock-sync n=7 f=2 k=64 coin=ticket\"");
+/// `experiments spec "<line>" [...]`: run each scenario line and dump one
+/// report-JSON line per spec (inherently `--jsonl`-shaped output).
+fn run_spec_lines(lines: &[String]) {
+    if lines.is_empty() {
+        eprintln!("usage: experiments [--jsonl] spec \"<scenario line>\" [\"<line>\" ...]");
+        eprintln!("example: experiments spec \"clock-sync n=7 f=2 k=64 coin=ticket delay=2\"");
         std::process::exit(2);
-    };
-    let spec = match ScenarioSpec::parse(line) {
-        Ok(spec) => spec,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
-    match default_registry().run(&spec) {
-        Ok(report) => println!("{}", report.to_json()),
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
+    }
+    let registry = default_registry();
+    for line in lines {
+        let spec = match ScenarioSpec::parse(line) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        match registry.run(&spec) {
+            Ok(report) => println!("{}", report.to_json()),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -647,4 +671,126 @@ fn m1_message_complexity() {
          (one extra broadcast + one coin pipeline); the recursive clock pays\n\
          log k pipelines; PkClock pays an O(f)-deep pipeline.\n"
     );
+}
+
+// ---------------------------------------------------------------------------
+// D1: §6.3 bounded-delay (semi-synchronous) grid
+// ---------------------------------------------------------------------------
+
+/// Lockstep vs bounded-delay sweep: the paper's protocols are specified
+/// for the global beat system, so this grid *measures* how far each one
+/// degrades when delivery stretches over a window — the §6.3 future-work
+/// rows of Table 1 turned into runnable scenarios. Built on
+/// [`byzclock_bench::sweep`]; `--jsonl` dumps every report as one JSON
+/// line instead of the aggregated table.
+fn d1_bounded_delay_grid(jsonl: bool) {
+    let registry = default_registry();
+    let ntrials = trials(20);
+    let horizon = 10_000u64;
+    let delays: [u64; 4] = [0, 1, 2, 3];
+
+    struct Row {
+        label: &'static str,
+        base: ScenarioSpec,
+    }
+    let rows = [
+        Row {
+            label: "2-clock (oracle, splitter)",
+            base: ScenarioSpec::new("two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_adversary(AdversarySpec::SplitVote)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        },
+        Row {
+            label: "clock-sync k=8 (oracle, silent)",
+            base: ScenarioSpec::new("clock-sync", 7, 2)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        },
+        Row {
+            label: "broken-2-clock (rand-aware splitter)",
+            base: ScenarioSpec::new("broken-two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_adversary(AdversarySpec::RandAwareSplitter)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        },
+    ];
+
+    // One flat, seed-ordered grid: every (row, delay, trial) is a spec.
+    let mut specs = Vec::new();
+    for row in &rows {
+        for &delay in &delays {
+            for seed in 0..ntrials {
+                specs.push(row.base.clone().with_delay(delay).with_seed(seed));
+            }
+        }
+    }
+    let reports = sweep(&registry, &specs, default_threads());
+
+    if jsonl {
+        // A missing grid point must not masquerade as a complete archive:
+        // fail loudly, matching the Markdown path's panic on the same
+        // error.
+        for (spec, report) in specs.iter().zip(&reports) {
+            match report {
+                Ok(r) => println!("{}", r.to_json()),
+                Err(e) => {
+                    eprintln!("spec `{spec}` failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    println!("## D1 — §6.3 bounded-delay grid: convergence vs delivery window\n");
+    println!(
+        "delay=0 is the paper's lockstep beat; delay=d delivers each correct\n\
+         message within a seeded d-beat window while the adversary rushes.\n\
+         The protocols are *specified* for lockstep — this grid measures the\n\
+         degradation the §6.3 future work has to beat. Cells: mean beats\n\
+         (p95) over trials; mean msg delay from the report extras.\n"
+    );
+    let mut table = Vec::new();
+    let mut chunks = reports.chunks(ntrials as usize);
+    for row in &rows {
+        let mut cells = vec![row.label.to_string()];
+        for &delay in &delays {
+            let chunk = chunks.next().expect("grid shape");
+            let samples: Vec<Option<u64>> = chunk
+                .iter()
+                .map(|r| {
+                    r.as_ref()
+                        .unwrap_or_else(|e| panic!("d1 spec failed: {e}"))
+                        .beats_to_sync()
+                })
+                .collect();
+            let mean_delay = chunk
+                .iter()
+                .filter_map(|r| r.as_ref().ok()?.extra("mean_delay"))
+                .sum::<f64>()
+                / chunk.len() as f64;
+            let mut cell = Summary::of(&samples).cell(horizon);
+            if delay > 0 {
+                cell.push_str(&format!(" · d̄={mean_delay:.2}"));
+            }
+            cells.push(cell);
+        }
+        table.push(cells);
+    }
+    let headers: Vec<String> = std::iter::once("protocol".to_string())
+        .chain(delays.iter().map(|d| {
+            if *d == 0 {
+                "lockstep".to_string()
+            } else {
+                format!("delay={d}")
+            }
+        }))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", md_table(&headers_ref, &table));
 }

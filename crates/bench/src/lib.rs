@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use byzclock::scenario::{ProtocolRegistry, RunReport, ScenarioError, ScenarioSpec};
 use std::fmt::Write as _;
 
 /// Summary statistics over convergence-time samples; `None` samples are
@@ -99,6 +100,24 @@ where
         .collect()
 }
 
+/// Fans a grid of scenario specs across `threads` worker threads and
+/// returns one result per spec, **in input order** — build the grid in
+/// seed order and the aggregation is deterministic regardless of thread
+/// scheduling (each run is itself a pure function of its spec).
+///
+/// This is the multi-spec generalization of [`parallel_trials`]: trials
+/// vary only the seed of one spec, a sweep varies anything — protocol,
+/// delivery delay, adversary — across one thread pool.
+pub fn sweep(
+    registry: &ProtocolRegistry,
+    specs: &[ScenarioSpec],
+    threads: usize,
+) -> Vec<Result<RunReport, ScenarioError>> {
+    parallel_trials(specs.len() as u64, threads, |i| {
+        registry.run(&specs[i as usize])
+    })
+}
+
 /// Renders a Markdown table.
 pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -160,6 +179,45 @@ mod tests {
     fn parallel_trials_are_seed_ordered() {
         let out = parallel_trials(17, 4, |seed| seed * 2);
         assert_eq!(out, (0..17).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_preserves_spec_order_and_determinism() {
+        let registry = byzclock::scenario::default_registry();
+        let specs: Vec<ScenarioSpec> = (0..6)
+            .map(|seed| {
+                ScenarioSpec::new("two-clock", 4, 1)
+                    .with_coin(byzclock::scenario::CoinSpec::perfect_oracle())
+                    .with_delay(seed % 3) // mix lockstep and bounded delay
+                    .with_seed(seed)
+                    .with_budget(500)
+            })
+            .collect();
+        let a = sweep(&registry, &specs, 3);
+        let b = sweep(&registry, &specs, 1);
+        assert_eq!(a.len(), specs.len());
+        for ((ra, rb), spec) in a.iter().zip(&b).zip(&specs) {
+            let ra = ra.as_ref().expect("spec runs");
+            assert_eq!(ra, rb.as_ref().unwrap(), "thread count changed a report");
+            assert_eq!(ra.spec, spec.to_string(), "results stay in input order");
+        }
+    }
+
+    #[test]
+    fn sweep_surfaces_per_spec_errors() {
+        let registry = byzclock::scenario::default_registry();
+        let specs = vec![
+            ScenarioSpec::new("two-clock", 4, 1)
+                .with_coin(byzclock::scenario::CoinSpec::perfect_oracle())
+                .with_budget(300),
+            ScenarioSpec::new("no-such-clock", 4, 1),
+        ];
+        let out = sweep(&registry, &specs, 2);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(byzclock::scenario::ScenarioError::UnknownProtocol { .. })
+        ));
     }
 
     #[test]

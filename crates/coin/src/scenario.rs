@@ -11,8 +11,8 @@ use crate::{
     TicketCoinScheme, XorCoinScheme,
 };
 use byzclock_core::scenario::{
-    builder_for, clock_adversary, four_clock_extras, recursive_levels, AdversarySpec, ClockRun,
-    CoinSpec, ProtocolFamily, ProtocolRegistry, ScenarioError, ScenarioRun, ScenarioSpec,
+    builder_for, clock_adversary, delay_extras, four_clock_extras, recursive_levels, AdversarySpec,
+    ClockRun, CoinSpec, ProtocolFamily, ProtocolRegistry, ScenarioError, ScenarioRun, ScenarioSpec,
 };
 use byzclock_core::{
     CoinScheme, FourClock, PipelinedCoin, RecursiveClock, SharedFourClock, TwoClock,
@@ -287,12 +287,14 @@ impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun
     fn extras(&self) -> Vec<(String, f64)> {
         let warmup = self.sim.correct_apps().next().map_or(4, |(_, a)| a.depth());
         let stats = coin_stats(&self.sim, warmup);
-        vec![
+        let mut extras = vec![
             ("p0".to_string(), stats.p0()),
             ("p1".to_string(), stats.p1()),
             ("agreement_rate".to_string(), stats.agreement_rate()),
             ("measured_beats".to_string(), stats.beats as f64),
-        ]
+        ];
+        extras.extend(delay_extras(self.sim.timing(), self.sim.delay_histogram()));
+        extras
     }
 }
 
@@ -339,6 +341,22 @@ mod tests {
         let agree = report.extra("agreement_rate").unwrap();
         assert!(agree > 0.9, "{report:?}");
         assert!(report.extra("p0").unwrap() > 0.3);
+    }
+
+    #[test]
+    fn bounded_delay_threads_into_the_coin_stream() {
+        // delay=2 reaches the ticket-coin families through builder_for and
+        // surfaces the delay histogram in the extras.
+        let spec = ScenarioSpec::parse(
+            "coin-stream n=4 f=1 coin=ticket adv=silent faults=none delay=2 seed=9 budget=30",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert_eq!(report.extra("delay_window"), Some(2.0));
+        let h0 = report.extra("delay_hist_0").unwrap();
+        let h1 = report.extra("delay_hist_1").unwrap();
+        assert!(h0 > 0.0 && h1 > 0.0, "both buckets populated: {report:?}");
+        assert_eq!(registry().run(&spec).unwrap(), report, "deterministic");
     }
 
     #[test]

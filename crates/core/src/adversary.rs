@@ -219,38 +219,56 @@ impl<M: VoteMessage> Adversary<M> for RandAwareSplitter {
         }
         let zeros = votes.iter().filter(|&&(_, v)| v == Trit::Zero).count();
         let ones = votes.iter().filter(|&&(_, v)| v == Trit::One).count();
-        let g = zeros + ones;
         let f = view.f();
         let quorum = view.n() - f;
-        // The bit that will pad ⊥-senders next beat.
+        // `w` is the bit ⊥-holders will substitute into *next* beat's
+        // votes. In the broken protocol it is public now (rushing on the
+        // coin's recover traffic) while the camps that vote next beat only
+        // form at the end of this beat — the one-beat head start Remark
+        // 3.1 warns about.
         let w = Trit::from_bit(self.upcoming_bit(view.beat()));
-        // We want a handful of nodes to cross the threshold for value
-        // `maj = w` this beat (their new clock becomes 1 - maj ≠ w), while
-        // everyone else stays below it; next beat the vote base is then a
-        // genuine split between (1 - w)-holders and w-substituters.
         let w_count = if w == Trit::Zero { zeros } else { ones };
-        // Preferred split direction: cross on `w` so the enders disagree
-        // with next beat's substitution. If `w` cannot reach the quorum
-        // even with our f votes, gamble on the current majority instead
-        // (a 50/50 bet on the next bit — the best available once the
-        // knowledge advantage does not line up).
-        let maj = if zeros >= ones { Trit::Zero } else { Trit::One };
-        let target = if w_count + f >= quorum { w } else { maj };
-        // How many nodes to let cross: enough to matter, few enough to
-        // keep the crossing camp a minority next beat.
-        let cross_target = g
-            .saturating_sub(quorum.saturating_sub(f))
-            .max(1)
-            .min((g / 2).max(1));
-        for &b in view.byzantine() {
-            for (idx, to) in view.all_ids().enumerate() {
-                let value = if idx < cross_target {
-                    target // push these recipients over the threshold
+        let correct: Vec<NodeId> = view
+            .all_ids()
+            .filter(|&id| !view.is_byzantine(id))
+            .collect();
+        // Per-recipient plan. Crossing a recipient = our f extra `w` votes
+        // lift its w-tally to the quorum, so it flips to clock = ¬w;
+        // starving = our votes land on ¬w, keeping both tallies short of
+        // the quorum (safe: w_count ≥ quorum − f forces ¬w_count ≤ f, and
+        // 2f < n − f), so the recipient resets to ⊥ and substitutes `w`
+        // next beat. Splitting the correct camp roughly in half therefore
+        // *guarantees* a {¬w, w} vote base next beat. Only when crossing
+        // on `w` is impossible (w_count + f < quorum) — or unavoidable
+        // (w_count ≥ quorum by correct votes alone) — does the knowledge
+        // run out: then vote `w` everywhere, which lifts no tally to the
+        // quorum, maximizing ⊥ end-states and buying one more unsynced
+        // beat before the forced unanimous flip.
+        let crossable = w_count + f >= quorum && w_count < quorum;
+        let cross = if crossable { correct.len() / 2 } else { 0 };
+        for (bi, &b) in view.byzantine().iter().enumerate() {
+            for (idx, &to) in correct.iter().enumerate() {
+                let value = if crossable && idx < cross {
+                    w
+                } else if crossable {
+                    w.flipped()
                 } else {
-                    target.flipped() // starve the rest
+                    w
                 };
                 if let Some(msg) = M::make_vote(view.phase(), value) {
-                    out.send(b, to, msg);
+                    out.send(b, to, msg.clone());
+                    // Under bounded delay the rushing window is real: the
+                    // straggling correct votes may concentrate in any beat
+                    // of the window, so the first Byzantine node blankets
+                    // the whole window with this plan — its padding is
+                    // co-present with the correct `w` votes wherever they
+                    // land, while the remaining Byzantine nodes keep
+                    // rushing fresh plans every beat.
+                    if bi == 0 {
+                        for j in 1..view.delay_window() {
+                            out.send_after(b, to, msg.clone(), j);
+                        }
+                    }
                 }
             }
         }

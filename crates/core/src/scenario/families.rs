@@ -39,13 +39,15 @@ pub(super) fn oracle_beacon(spec: &ScenarioSpec, i: u64) -> OracleBeacon {
 }
 
 /// The [`SimBuilder`] every family starts from: cluster shape, seed,
-/// fault schedule, boot corruption, and Byzantine placement straight from
-/// the spec.
+/// fault schedule, boot corruption, timing model, and Byzantine placement
+/// straight from the spec — so every protocol family in the workspace
+/// accepts the `delay=` knob without per-family plumbing.
 pub fn builder_for(spec: &ScenarioSpec) -> SimBuilder {
     SimBuilder::new(spec.n, spec.f)
         .seed(spec.seed)
         .faults(spec.fault_plan.to_plan())
         .corrupted_start(spec.fault_plan.corrupt_start)
+        .timing(spec.timing())
         .apply(|b| match &spec.byzantine {
             Some(ids) => b.byzantine(ids.iter().copied()),
             None => b,
@@ -380,6 +382,31 @@ mod tests {
         let report = registry().run(&broken).unwrap();
         // Spawns and runs deterministically; convergence is not promised.
         assert!(report.beats <= 4_000);
+    }
+
+    #[test]
+    fn bounded_delay_threads_through_every_oracle_family() {
+        // The acceptance spec of the timing-model refactor: `delay=2`
+        // parses, runs deterministically, and reports delay extras.
+        let spec = ScenarioSpec::parse(
+            "clock-sync n=7 f=2 k=8 coin=oracle adv=silent faults=corrupt-start delay=2 \
+             seed=4 budget=4000",
+        )
+        .unwrap();
+        let registry = registry();
+        let report = registry.run(&spec).unwrap();
+        assert_eq!(report.extra("delay_window"), Some(2.0));
+        let hist: f64 = (0..2)
+            .map(|d| report.extra(&format!("delay_hist_{d}")).unwrap())
+            .sum();
+        assert!(hist > 0.0);
+        assert_eq!(registry.run(&spec).unwrap(), report, "deterministic");
+
+        // Lockstep reports carry no delay extras at all.
+        let lockstep = registry
+            .run(&ScenarioSpec::parse("two-clock n=4 f=1 coin=oracle budget=500").unwrap())
+            .unwrap();
+        assert!(lockstep.extra("delay_window").is_none());
     }
 
     #[test]

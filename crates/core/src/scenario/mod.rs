@@ -37,6 +37,11 @@ pub use families::{
 };
 pub use registry::{ProtocolFamily, ProtocolRegistry, ScenarioError};
 pub use run::{
-    drive, drive_exact, ClockRun, RunReport, ScenarioRun, TrafficSummary, DEFAULT_SYNC_WINDOW,
+    delay_extras, drive, drive_exact, ClockRun, RunReport, ScenarioRun, TrafficSummary,
+    DEFAULT_SYNC_WINDOW,
 };
 pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, ScenarioSpec};
+
+// The spec's `delay=` knob resolves to this sim-layer model; re-exported
+// so scenario-level callers need not depend on `byzclock-sim` directly.
+pub use byzclock_sim::TimingModel;

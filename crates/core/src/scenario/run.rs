@@ -2,7 +2,7 @@
 
 use super::spec::ScenarioSpec;
 use crate::clock::{all_synced, DigitalClock, SyncTracker};
-use byzclock_sim::{Adversary, Application, Simulation, TrafficStats};
+use byzclock_sim::{Adversary, Application, Simulation, TimingModel, TrafficStats};
 
 /// Stability window used by [`drive`] by default: the system must stay
 /// clock-synched *and incrementing* this many beats before a run counts as
@@ -50,6 +50,41 @@ pub trait ScenarioRun {
 
 /// A protocol-specific metrics sampler attached to a [`ClockRun`].
 pub type ExtrasFn<A, Adv> = fn(&Simulation<A, Adv>) -> Vec<(String, f64)>;
+
+/// Timing-model extras every scenario adapter appends to its report:
+/// nothing under lockstep (reports stay byte-identical to the
+/// pre-timing-model era), and under bounded delay the window width, the
+/// mean observed delay, and the full observed-delay histogram
+/// (`delay_hist_d` = messages that arrived `d` beats after sending).
+pub fn delay_extras(timing: TimingModel, histogram: &[u64]) -> Vec<(String, f64)> {
+    match timing {
+        TimingModel::Lockstep => Vec::new(),
+        TimingModel::BoundedDelay { window } => {
+            let total: u64 = histogram.iter().sum();
+            let mean = if total == 0 {
+                0.0
+            } else {
+                histogram
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &c)| d as f64 * c as f64)
+                    .sum::<f64>()
+                    / total as f64
+            };
+            let mut extras = vec![
+                ("delay_window".to_string(), window as f64),
+                ("mean_delay".to_string(), mean),
+            ];
+            extras.extend(
+                histogram
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &c)| (format!("delay_hist_{d}"), c as f64)),
+            );
+            extras
+        }
+    }
+}
 
 /// The standard [`ScenarioRun`] adapter: any simulated [`DigitalClock`]
 /// application plus any adversary.
@@ -115,7 +150,9 @@ where
     }
 
     fn extras(&self) -> Vec<(String, f64)> {
-        self.extras_fn.map_or_else(Vec::new, |f| f(&self.sim))
+        let mut extras = self.extras_fn.map_or_else(Vec::new, |f| f(&self.sim));
+        extras.extend(delay_extras(self.sim.timing(), self.sim.delay_histogram()));
+        extras
     }
 }
 

@@ -2,12 +2,24 @@
 //!
 //! A [`ScenarioSpec`] is plain data naming one point of the reproduction's
 //! experiment grid: protocol × cluster shape × coin × adversary × fault
-//! plan × seed. Specs are serializable as a single self-describing line
-//! (see [`ScenarioSpec::parse`]) so sweeps can be logged, diffed, replayed
-//! from a shell, and later sharded across processes.
+//! plan × timing model × seed. Specs are serializable as a single
+//! self-describing line (see [`ScenarioSpec::parse`]) so sweeps can be
+//! logged, diffed, replayed from a shell, and later sharded across
+//! processes.
+//!
+//! # Timing (`delay=`)
+//!
+//! The optional `delay=d` key selects the delivery-timing model
+//! ([`byzclock_sim::TimingModel`]): absent or `delay=0` is the paper's
+//! lockstep global beat (every message arrives the beat it was sent);
+//! `delay=d` with `d >= 1` is the §6.3 bounded-delay (semi-synchronous)
+//! model — a correct message arrives within a seeded window of `d` beats,
+//! and the adversary may rush or reorder its own traffic inside the
+//! window. Lockstep spec lines render without the key, so historical spec
+//! strings (and the reports that echo them) are unchanged.
 
 use super::registry::ScenarioError;
-use byzclock_sim::{FaultEvent, FaultKind, FaultPlan, NodeId};
+use byzclock_sim::{FaultEvent, FaultKind, FaultPlan, NodeId, TimingModel};
 use std::fmt;
 
 /// Which randomness substrate the protocol draws its per-beat bit from.
@@ -386,6 +398,10 @@ pub struct ScenarioSpec {
     pub adversary: AdversarySpec,
     /// Transient faults and boot corruption.
     pub fault_plan: FaultPlanSpec,
+    /// Delivery-window width in beats: 0 = the paper's lockstep global
+    /// beat; `d >= 1` = the §6.3 bounded-delay model with a `d`-beat
+    /// window (see [`ScenarioSpec::timing`]).
+    pub delay: u64,
     /// Which nodes are *actually* Byzantine (`None` = the `f` highest
     /// ids, the builder default). Lets resiliency experiments place more
     /// or fewer real faults than the budget, or make a specific node — a
@@ -409,6 +425,7 @@ impl ScenarioSpec {
             coin: CoinSpec::Ticket,
             adversary: AdversarySpec::Silent,
             fault_plan: FaultPlanSpec::corrupt_start(),
+            delay: 0,
             byzantine: None,
             seed: 0,
             beat_budget: 5_000,
@@ -437,6 +454,22 @@ impl ScenarioSpec {
     pub fn with_faults(mut self, fault_plan: FaultPlanSpec) -> Self {
         self.fault_plan = fault_plan;
         self
+    }
+
+    /// Sets the delivery-window width (0 = lockstep, `d >= 1` =
+    /// bounded delay).
+    pub fn with_delay(mut self, delay: u64) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// The sim-layer [`TimingModel`] this spec selects.
+    pub fn timing(&self) -> TimingModel {
+        if self.delay == 0 {
+            TimingModel::Lockstep
+        } else {
+            TimingModel::bounded(self.delay)
+        }
     }
 
     /// Overrides which nodes are actually Byzantine.
@@ -474,6 +507,12 @@ impl ScenarioSpec {
         }
         if self.beat_budget == 0 {
             return fail("beat budget must be at least 1".into());
+        }
+        if self.delay > 255 {
+            return fail(format!(
+                "delivery window delay={} is implausibly wide (max 255 beats)",
+                self.delay
+            ));
         }
         if let Some(byz) = &self.byzantine {
             let mut sorted = byz.clone();
@@ -519,6 +558,7 @@ impl ScenarioSpec {
                 "coin" => spec.coin = value.parse()?,
                 "adv" => spec.adversary = value.parse()?,
                 "faults" => spec.fault_plan = value.parse()?,
+                "delay" => spec.delay = num(value)?,
                 "byz" => {
                     spec.byzantine = Some(
                         value
@@ -560,6 +600,11 @@ impl fmt::Display for ScenarioSpec {
             self.adversary,
             self.fault_plan,
         )?;
+        if self.delay != 0 {
+            // Lockstep lines stay byte-identical to the pre-timing-model
+            // era: the key only appears for bounded-delay scenarios.
+            write!(f, " delay={}", self.delay)?;
+        }
         if let Some(byz) = &self.byzantine {
             write!(
                 f,
@@ -590,11 +635,34 @@ mod tests {
             .with_coin(CoinSpec::oracle(0.4, 0.4))
             .with_adversary(AdversarySpec::SplitVote)
             .with_faults(FaultPlanSpec::storm(60, 100))
+            .with_delay(2)
             .with_byzantine([0, 3])
             .with_seed(99)
             .with_budget(2_000);
         let line = spec.to_string();
+        assert!(line.contains(" delay=2 "), "{line}");
         assert_eq!(ScenarioSpec::parse(&line).unwrap(), spec);
+    }
+
+    #[test]
+    fn lockstep_specs_render_without_the_delay_key() {
+        let spec = ScenarioSpec::new("two-clock", 4, 1);
+        assert_eq!(spec.delay, 0);
+        assert!(!spec.to_string().contains("delay="));
+        assert_eq!(spec.timing(), byzclock_sim::TimingModel::Lockstep);
+        let parsed = ScenarioSpec::parse("two-clock n=4 f=1 delay=0").unwrap();
+        assert!(!parsed.to_string().contains("delay="));
+    }
+
+    #[test]
+    fn delay_selects_the_bounded_model() {
+        let spec = ScenarioSpec::parse("clock-sync n=7 f=2 k=8 coin=oracle delay=3").unwrap();
+        assert_eq!(spec.delay, 3);
+        assert_eq!(
+            spec.timing(),
+            byzclock_sim::TimingModel::BoundedDelay { window: 3 }
+        );
+        assert!(ScenarioSpec::parse("clock-sync n=7 f=2 delay=999").is_err());
     }
 
     #[test]

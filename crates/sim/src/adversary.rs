@@ -31,6 +31,7 @@ pub struct AdversaryView<'a, M> {
     pub(crate) phase: usize,
     pub(crate) n: usize,
     pub(crate) f: usize,
+    pub(crate) delay_window: u64,
     pub(crate) byz: &'a [NodeId],
     pub(crate) visible: &'a [Envelope<M>],
 }
@@ -55,6 +56,15 @@ impl<'a, M> AdversaryView<'a, M> {
     /// Fault budget.
     pub fn f(&self) -> usize {
         self.f
+    }
+
+    /// Width of the delivery window of the run's
+    /// [`crate::TimingModel`], in beats: 1 under lockstep (everything
+    /// arrives the beat it was sent), `d` under bounded delay. Strategies
+    /// that exploit the semi-synchronous model read this to know how far
+    /// ahead [`ByzOutbox::send_after`] can place a message.
+    pub fn delay_window(&self) -> u64 {
+        self.delay_window
     }
 
     /// The Byzantine node ids under this adversary's control.
@@ -96,9 +106,16 @@ impl<'a, M> AdversaryView<'a, M> {
 ///
 /// The network is authenticated: attempts to send from a non-Byzantine
 /// identity are dropped (and counted), reproducing Def. 2.2(2).
+///
+/// Timing: under the bounded-delay model the adversary is not subject to
+/// the random delivery draw — it places each of its messages anywhere in
+/// the window. [`ByzOutbox::send`]/[`ByzOutbox::broadcast`] rush (arrive
+/// the same beat, the worst case the model allows);
+/// [`ByzOutbox::send_after`] schedules an arrival a chosen number of
+/// beats ahead (clamped to the window — a no-op offset under lockstep).
 pub struct ByzOutbox<'a, M> {
     byz: &'a [NodeId],
-    sends: Vec<Envelope<M>>,
+    sends: Vec<(u64, Envelope<M>)>,
     forged_dropped: u64,
     n: usize,
     rng: &'a mut SimRng,
@@ -115,11 +132,21 @@ impl<'a, M: Clone> ByzOutbox<'a, M> {
         }
     }
 
-    /// Send `msg` from Byzantine node `from` to `to`. Silently dropped (and
-    /// counted) if `from` is not under adversary control.
+    /// Send `msg` from Byzantine node `from` to `to`, rushed (delivered as
+    /// early as the timing model allows). Silently dropped (and counted)
+    /// if `from` is not under adversary control.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.send_after(from, to, msg, 0);
+    }
+
+    /// Send `msg` from Byzantine node `from` to `to`, arriving
+    /// `delay_beats` beats from now (same exchange phase). The simulator
+    /// clamps the delay into the timing model's window, so under lockstep
+    /// this degenerates to [`ByzOutbox::send`]. Forged senders are dropped
+    /// and counted exactly like rushed sends.
+    pub fn send_after(&mut self, from: NodeId, to: NodeId, msg: M, delay_beats: u64) {
         if self.byz.contains(&from) {
-            self.sends.push(Envelope { from, to, msg });
+            self.sends.push((delay_beats, Envelope { from, to, msg }));
         } else {
             self.forged_dropped += 1;
         }
@@ -138,7 +165,7 @@ impl<'a, M: Clone> ByzOutbox<'a, M> {
         self.rng
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<Envelope<M>>, u64) {
+    pub(crate) fn into_parts(self) -> (Vec<(u64, Envelope<M>)>, u64) {
         (self.sends, self.forged_dropped)
     }
 }
@@ -225,10 +252,32 @@ mod tests {
         let mut out = ByzOutbox::new(&byz, 4, &mut rng);
         out.send(NodeId::new(3), NodeId::new(0), 1u64); // legit
         out.send(NodeId::new(1), NodeId::new(0), 2u64); // forged
+        out.send_after(NodeId::new(1), NodeId::new(0), 3u64, 2); // forged, delayed
         let (sends, forged) = out.into_parts();
         assert_eq!(sends.len(), 1);
-        assert_eq!(forged, 1);
-        assert_eq!(sends[0].from, NodeId::new(3));
+        assert_eq!(forged, 2);
+        assert_eq!(sends[0].1.from, NodeId::new(3));
+        assert_eq!(sends[0].0, 0, "plain send rushes");
+    }
+
+    #[test]
+    fn send_after_records_the_requested_delay() {
+        let byz = [NodeId::new(2)];
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut out = ByzOutbox::new(&byz, 4, &mut rng);
+        out.send_after(NodeId::new(2), NodeId::new(0), 7u64, 3);
+        let (sends, _) = out.into_parts();
+        assert_eq!(
+            sends,
+            vec![(
+                3,
+                Envelope {
+                    from: NodeId::new(2),
+                    to: NodeId::new(0),
+                    msg: 7u64,
+                }
+            )]
+        );
     }
 
     #[test]

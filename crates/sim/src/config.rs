@@ -3,7 +3,7 @@
 use crate::adversary::{Adversary, Visibility};
 use crate::rng::stream_rng;
 use crate::runner::Simulation;
-use crate::{Application, FaultPlan, NodeCfg, NodeId, SimRng};
+use crate::{Application, FaultPlan, NodeCfg, NodeId, SimRng, TimingModel};
 
 /// Builder for a [`Simulation`].
 ///
@@ -32,6 +32,7 @@ pub struct SimBuilder {
     fault_plan: FaultPlan,
     history_cap: usize,
     corrupted_start: bool,
+    timing: TimingModel,
 }
 
 impl SimBuilder {
@@ -55,6 +56,7 @@ impl SimBuilder {
             fault_plan: FaultPlan::none(),
             history_cap: 4096,
             corrupted_start: false,
+            timing: TimingModel::Lockstep,
         }
     }
 
@@ -117,6 +119,15 @@ impl SimBuilder {
         self
     }
 
+    /// Delivery-timing model (default: the paper's lockstep global beat).
+    /// [`TimingModel::BoundedDelay`] turns the run semi-synchronous: a
+    /// correct message arrives within a seeded window of beats, and the
+    /// adversary may rush or reorder its own traffic inside the window.
+    pub fn timing(mut self, timing: TimingModel) -> Self {
+        self.timing = timing;
+        self
+    }
+
     /// Capacity of the stale-traffic ring used for phantom replay.
     pub fn history_cap(mut self, cap: usize) -> Self {
         self.history_cap = cap;
@@ -167,6 +178,7 @@ impl SimBuilder {
             fault_plan,
             history_cap,
             corrupted_start,
+            timing,
         } = self;
         let mut apps = Vec::with_capacity(n);
         let mut node_rngs = Vec::with_capacity(n);
@@ -187,6 +199,10 @@ impl SimBuilder {
         }
         let adv_rng = stream_rng(seed, 1 << 32);
         let fault_rng = stream_rng(seed, (1 << 32) + 1);
+        // A dedicated stream for delivery delays: adding the timing model
+        // perturbs no node/adversary/fault stream, and lockstep runs never
+        // draw from it — historical seeds replay bit-for-bit.
+        let delay_rng = stream_rng(seed, (1 << 32) + 2);
         Simulation::from_parts(
             n,
             f,
@@ -199,6 +215,8 @@ impl SimBuilder {
             fault_rng,
             fault_plan,
             history_cap,
+            timing,
+            delay_rng,
         )
     }
 }

@@ -5,7 +5,9 @@
 //! (Section 2) exactly:
 //!
 //! - `n` fully-connected nodes driven by a global beat system; every message
-//!   sent at beat `r` is delivered before beat `r + 1` (Def. 2.2(1));
+//!   sent at beat `r` is delivered before beat `r + 1` (Def. 2.2(1)) —
+//!   or, under the pluggable [`TimingModel::BoundedDelay`] (the paper's
+//!   §6.3 semi-synchronous extension), within a seeded window of beats;
 //! - the network authenticates senders and does not tamper with payloads
 //!   (Def. 2.2(2)) — the simulator stamps the `from` field itself;
 //! - no phantom messages once the network is non-faulty (Def. 2.2(3)) —
@@ -72,6 +74,7 @@ mod id;
 mod rng;
 mod runner;
 mod stats;
+mod timing;
 mod wire;
 
 pub mod faults;
@@ -85,4 +88,5 @@ pub use id::{NodeCfg, NodeId};
 pub use rng::{derive_seed, SimRng};
 pub use runner::Simulation;
 pub use stats::{BeatTraffic, TrafficStats};
+pub use timing::TimingModel;
 pub use wire::Wire;

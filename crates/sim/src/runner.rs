@@ -1,11 +1,38 @@
 //! The beat-by-beat simulation loop.
+//!
+//! # Delivery and the timing model
+//!
+//! Every envelope a phase produces — correct sends, Byzantine sends,
+//! phantom replays — is routed through one [`DeliveryScheduler`], the
+//! single place delivery policy lives. The run's [`TimingModel`] decides
+//! the arrival beat:
+//!
+//! - [`TimingModel::Lockstep`] (default): a message sent in phase `p` of
+//!   beat `r` is delivered in phase `p` of beat `r` — the paper's global
+//!   beat system, bit-for-bit identical to the historical same-beat loop
+//!   (the delay RNG stream is never touched).
+//! - [`TimingModel::BoundedDelay`]`{ window }`: a correct message sent at
+//!   beat `r` arrives at a seeded-uniform beat in `r ..= r + window - 1`
+//!   (same phase). The adversary is not bound to the draw: its sends rush
+//!   by default and may be placed anywhere in the window via
+//!   [`crate::ByzOutbox::send_after`]. The observed delays are recorded in
+//!   [`Simulation::delay_histogram`].
+//!
+//! Blackout faults interact with delay at the *arrival* end: a message
+//! due during a blacked-out beat is lost, one due after the blackout
+//! clears is delivered normally.
+//!
+//! Future async/sharded backends plug in at the same seam: anything that
+//! can order envelopes into `(beat, phase)` delivery slots can replace the
+//! scheduler without touching the protocol or adversary layers.
 
 use crate::adversary::{stamp, visible_slice, Adversary, AdversaryView, ByzOutbox, Visibility};
 use crate::app::{Application, Outbox};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::TrafficStats;
+use crate::timing::DeliveryScheduler;
 use crate::wire::Wire;
-use crate::{Envelope, NodeId, SimRng};
+use crate::{Envelope, NodeId, SimRng, TimingModel};
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -15,7 +42,8 @@ use std::collections::VecDeque;
 /// Each [`Simulation::step`] advances one beat:
 ///
 /// 1. for every exchange phase: correct nodes send, the adversary acts
-///    (rushing), everything is delivered (unless blacked out);
+///    (rushing), everything is routed through the delivery scheduler, and
+///    the envelopes *due this beat* are delivered (unless blacked out);
 /// 2. scheduled fault events fire at the end of the beat.
 pub struct Simulation<A: Application, Adv> {
     n: usize,
@@ -28,6 +56,7 @@ pub struct Simulation<A: Application, Adv> {
     adv_rng: SimRng,
     fault_rng: SimRng,
     fault_plan: FaultPlan,
+    scheduler: DeliveryScheduler<A::Msg>,
     beat: u64,
     stats: TrafficStats,
     history: VecDeque<Envelope<A::Msg>>,
@@ -54,6 +83,8 @@ where
         fault_rng: SimRng,
         fault_plan: FaultPlan,
         history_cap: usize,
+        timing: TimingModel,
+        delay_rng: SimRng,
     ) -> Self {
         Simulation {
             n,
@@ -66,6 +97,7 @@ where
             adv_rng,
             fault_rng,
             fault_plan,
+            scheduler: DeliveryScheduler::new(timing, delay_rng),
             beat: 0,
             stats: TrafficStats::default(),
             history: VecDeque::new(),
@@ -98,6 +130,19 @@ where
     /// Traffic statistics.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// The run's delivery-timing model.
+    pub fn timing(&self) -> TimingModel {
+        self.scheduler.model()
+    }
+
+    /// Observed-delay histogram: `histogram[d]` counts messages scheduled
+    /// to arrive `d` beats after they were sent. Empty under
+    /// [`TimingModel::Lockstep`] (there is nothing to observe — every
+    /// delay is 0 by definition).
+    pub fn delay_histogram(&self) -> &[u64] {
+        self.scheduler.histogram()
     }
 
     /// The application of node `id`, if it is correct.
@@ -154,43 +199,62 @@ where
                 phase,
                 n: self.n,
                 f: self.f,
+                delay_window: self.scheduler.model().window(),
                 byz: &self.byz,
                 visible: &visible,
             };
             let mut byz_out = ByzOutbox::new(&self.byz, self.n, &mut self.adv_rng);
             self.adversary.act(&view, &mut byz_out);
-            let (byz_envelopes, forged) = byz_out.into_parts();
+            let (byz_sends, forged) = byz_out.into_parts();
             {
                 let cur = self.stats.current();
-                cur.byz_msgs += byz_envelopes.len() as u64;
-                cur.byz_bytes += byz_envelopes
+                cur.byz_msgs += byz_sends.len() as u64;
+                cur.byz_bytes += byz_sends
                     .iter()
-                    .map(|e| e.msg.encoded_len() as u64)
+                    .map(|(_, e)| e.msg.encoded_len() as u64)
                     .sum::<u64>();
                 cur.forged_dropped += forged;
             }
-            envelopes.extend(byz_envelopes);
 
             // --- phantom replay from an earlier fault event ---
-            if phase == 0 && !self.pending_phantoms.is_empty() {
+            let phantoms = if phase == 0 && !self.pending_phantoms.is_empty() {
                 let phantoms = std::mem::take(&mut self.pending_phantoms);
                 self.stats.current().phantom_msgs += phantoms.len() as u64;
-                envelopes.extend(phantoms);
-            }
+                phantoms
+            } else {
+                Vec::new()
+            };
 
             // --- record history for future phantom replay ---
-            for e in &envelopes {
+            for e in envelopes
+                .iter()
+                .chain(byz_sends.iter().map(|(_, e)| e))
+                .chain(phantoms.iter())
+            {
                 if self.history.len() == self.history_cap {
                     self.history.pop_front();
                 }
                 self.history.push_back(e.clone());
             }
 
-            // --- deliver ---
+            // --- route everything through the delivery scheduler ---
+            for e in envelopes {
+                self.scheduler.schedule(self.beat, phase, e);
+            }
+            for (delay, e) in byz_sends {
+                self.scheduler.schedule_at(self.beat, phase, delay, e);
+            }
+            for e in phantoms {
+                // Phantoms model stale traffic resurfacing *now*.
+                self.scheduler.schedule_at(self.beat, phase, 0, e);
+            }
+
+            // --- deliver what is due this (beat, phase) slot ---
+            let due = self.scheduler.take_due(self.beat, phase);
             if self.beat >= self.blackout_until {
                 let mut per_node: Vec<Vec<Envelope<A::Msg>>> =
                     (0..self.n).map(|_| Vec::new()).collect();
-                for e in envelopes {
+                for e in due {
                     let idx = e.to.index();
                     if idx < self.n {
                         per_node[idx].push(e);
@@ -203,6 +267,8 @@ where
                     }
                 }
             }
+            // else: envelopes due during a blackout are lost — Def. 2.2
+            // only holds once the network is non-faulty again.
         }
 
         // --- end-of-beat fault events ---
@@ -486,6 +552,122 @@ mod tests {
         assert_eq!(sim.run_until(10, |_| false), None);
         assert_eq!(sim.beat(), 10);
     }
+
+    /// Records `(from, sent_beat, received_beat)` for every delivery —
+    /// the observability the bounded-delay assertions need.
+    #[derive(Debug)]
+    struct WindowProbe {
+        me: NodeId,
+        beat: u64,
+        arrivals: Vec<(u16, u64, u64)>,
+    }
+
+    impl Application for WindowProbe {
+        type Msg = Tagged;
+        fn send(&mut self, _phase: usize, out: &mut Outbox<'_, Tagged>) {
+            out.broadcast(Tagged(self.me.raw(), self.beat));
+        }
+        fn deliver(&mut self, _phase: usize, inbox: &[Envelope<Tagged>], _rng: &mut SimRng) {
+            for e in inbox {
+                self.arrivals.push((e.msg.0, e.msg.1, self.beat));
+            }
+            self.beat += 1;
+        }
+        fn corrupt(&mut self, _rng: &mut SimRng) {}
+    }
+
+    fn probe_sim<Adv: Adversary<Tagged>>(window: u64, adv: Adv) -> Simulation<WindowProbe, Adv> {
+        SimBuilder::new(5, 1)
+            .seed(11)
+            .timing(crate::TimingModel::bounded(window))
+            .build(
+                |cfg, _rng| WindowProbe {
+                    me: cfg.id,
+                    beat: 0,
+                    arrivals: Vec::new(),
+                },
+                adv,
+            )
+    }
+
+    #[test]
+    fn bounded_delay_messages_land_within_the_window() {
+        let window = 3;
+        let mut sim = probe_sim(window, SilentAdversary);
+        sim.run_beats(40);
+        let mut total = 0usize;
+        let mut delayed = 0usize;
+        for (_, app) in sim.correct_apps() {
+            for &(_, sent, received) in &app.arrivals {
+                assert!(
+                    received >= sent && received - sent < window,
+                    "message sent at {sent} arrived at {received}, outside window {window}"
+                );
+                total += 1;
+                delayed += usize::from(received > sent);
+            }
+        }
+        // 4 correct senders x 4 correct recipients per beat, minus the
+        // tail still in flight when the run stops.
+        assert!(total >= 4 * 4 * (40 - window as usize), "{total} arrivals");
+        assert!(delayed > 0, "a window of 3 must actually delay something");
+        // The histogram covers every scheduled envelope (4 senders x 5
+        // recipients x 40 beats) and only uses in-window buckets.
+        assert_eq!(sim.delay_histogram().len(), window as usize);
+        assert_eq!(sim.delay_histogram().iter().sum::<u64>(), 4 * 5 * 40);
+    }
+
+    #[test]
+    fn bounded_delay_runs_replay_bit_identically() {
+        let run = || {
+            let mut sim = probe_sim(4, SilentAdversary);
+            sim.run_beats(25);
+            let states: Vec<String> = sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
+            (states, sim.delay_histogram().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lockstep_reports_no_delay_histogram() {
+        let mut sim = recorder_sim(4, 1, 1, FaultPlan::none());
+        sim.run_beats(3);
+        assert_eq!(sim.timing(), crate::TimingModel::Lockstep);
+        assert!(sim.delay_histogram().is_empty());
+    }
+
+    /// The adversary's scheduler seam: `send_after` arrives exactly the
+    /// requested number of beats later, and plain sends rush (arrive the
+    /// same beat) even when every correct message is delayed.
+    #[test]
+    fn adversary_controls_its_own_timing_inside_the_window() {
+        struct SplitTiming;
+        impl Adversary<Tagged> for SplitTiming {
+            fn act(&mut self, view: &AdversaryView<'_, Tagged>, out: &mut ByzOutbox<'_, Tagged>) {
+                assert_eq!(view.delay_window(), 3);
+                let b = view.byzantine()[0];
+                // Tag 900+beat = rushed, 800+beat = placed one beat ahead.
+                out.send(b, NodeId::new(0), Tagged(b.raw(), 900 + view.beat()));
+                out.send_after(b, NodeId::new(0), Tagged(b.raw(), 800 + view.beat()), 1);
+            }
+        }
+        let mut sim = probe_sim(3, SplitTiming);
+        sim.run_beats(10);
+        let probe = sim.app(NodeId::new(0)).unwrap();
+        for &(from, tag, received) in &probe.arrivals {
+            if from == 4 {
+                if tag >= 900 {
+                    assert_eq!(tag - 900, received, "rushed sends arrive same beat");
+                } else {
+                    assert_eq!(tag - 800 + 1, received, "send_after(1) arrives next beat");
+                }
+            }
+        }
+        assert!(probe.arrivals.iter().any(|&(f, t, _)| f == 4 && t >= 900));
+        assert!(probe.arrivals.iter().any(|&(f, t, _)| f == 4 && t < 900));
+    }
+
+    use crate::adversary::AdversaryView;
 
     #[test]
     fn traffic_accounting_counts_broadcasts_as_n_unicasts() {

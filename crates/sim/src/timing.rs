@@ -1,0 +1,263 @@
+//! Pluggable delivery-timing models and the per-message scheduler.
+//!
+//! The paper's global-beat model (Def. 2.2(1)) delivers every message in
+//! the same beat it was sent — [`TimingModel::Lockstep`]. Its §6.3 future
+//! work is the *bounded-delay* (semi-synchronous) model, where a message
+//! sent at beat `r` arrives at some beat in `r .. r + d` —
+//! [`TimingModel::BoundedDelay`]. The [`DeliveryScheduler`] is the single
+//! place delivery policy lives: every envelope (correct, Byzantine, or
+//! phantom) is routed through it, and the model decides the arrival beat.
+//!
+//! Determinism: bounded-delay arrival beats are drawn from a dedicated RNG
+//! stream derived from the master seed, so adding the scheduler perturbs no
+//! other random stream — under `Lockstep` the delay RNG is never touched
+//! and runs are bit-for-bit identical to the historical same-beat
+//! simulator.
+
+use crate::{Envelope, SimRng};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// When messages sent at beat `r` are delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingModel {
+    /// The paper's global-beat system: every message sent in phase `p` of
+    /// beat `r` is delivered in phase `p` of beat `r` (Def. 2.2(1)).
+    #[default]
+    Lockstep,
+    /// The §6.3 semi-synchronous model: a correct message sent in phase
+    /// `p` of beat `r` is delivered in phase `p` of some beat in
+    /// `r ..= r + window - 1`, chosen uniformly by a seeded stream. The
+    /// adversary is *not* bound to the draw — it may place each of its own
+    /// messages anywhere inside the window (rushing by default).
+    BoundedDelay {
+        /// Width of the delivery window in beats (`>= 1`; `window == 1`
+        /// reproduces same-beat delivery through the delayed path).
+        window: u64,
+    },
+}
+
+impl TimingModel {
+    /// A bounded-delay model with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` (an empty delivery window can deliver
+    /// nothing).
+    pub fn bounded(window: u64) -> Self {
+        assert!(window >= 1, "bounded-delay window must be at least 1 beat");
+        TimingModel::BoundedDelay { window }
+    }
+
+    /// Width of the delivery window in beats (1 for lockstep).
+    pub fn window(&self) -> u64 {
+        match self {
+            TimingModel::Lockstep => 1,
+            TimingModel::BoundedDelay { window } => (*window).max(1),
+        }
+    }
+
+    /// `true` for the paper's same-beat model.
+    pub fn is_lockstep(&self) -> bool {
+        matches!(self, TimingModel::Lockstep)
+    }
+}
+
+impl std::fmt::Display for TimingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingModel::Lockstep => write!(f, "lockstep"),
+            TimingModel::BoundedDelay { window } => write!(f, "bounded-delay:{window}"),
+        }
+    }
+}
+
+/// Routes every envelope of a run through a per-message delivery queue.
+///
+/// Envelopes are keyed by `(deliver_beat, phase)`; a message sent in phase
+/// `p` arrives in phase `p` of its arrival beat, so multi-phase protocols
+/// keep their phase structure under delay. Within one delivery slot,
+/// envelopes keep their scheduling order (earlier-scheduled first), which
+/// makes delayed runs exactly replayable.
+#[derive(Debug)]
+pub(crate) struct DeliveryScheduler<M> {
+    model: TimingModel,
+    delay_rng: SimRng,
+    pending: BTreeMap<(u64, usize), Vec<Envelope<M>>>,
+    /// `histogram[d]` = messages scheduled to arrive `d` beats after they
+    /// were sent. Left empty under lockstep (no observation to report).
+    histogram: Vec<u64>,
+}
+
+impl<M> DeliveryScheduler<M> {
+    pub(crate) fn new(model: TimingModel, delay_rng: SimRng) -> Self {
+        // Normalize a hand-built `BoundedDelay { window: 0 }` (the struct
+        // field is necessarily public for matching) so behavior and
+        // reporting agree everywhere downstream.
+        let model = match model {
+            TimingModel::BoundedDelay { window } => TimingModel::BoundedDelay {
+                window: window.max(1),
+            },
+            lockstep => lockstep,
+        };
+        let histogram = if model.is_lockstep() {
+            Vec::new()
+        } else {
+            vec![0; model.window() as usize]
+        };
+        DeliveryScheduler {
+            model,
+            delay_rng,
+            pending: BTreeMap::new(),
+            histogram,
+        }
+    }
+
+    pub(crate) fn model(&self) -> TimingModel {
+        self.model
+    }
+
+    pub(crate) fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    fn record(&mut self, delay: u64) {
+        if let Some(slot) = self.histogram.get_mut(delay as usize) {
+            *slot += 1;
+        }
+    }
+
+    /// Schedules a correct node's envelope sent in `(beat, phase)`; the
+    /// model draws the arrival beat.
+    pub(crate) fn schedule(&mut self, beat: u64, phase: usize, envelope: Envelope<M>) {
+        let delay = match self.model {
+            TimingModel::Lockstep => 0,
+            TimingModel::BoundedDelay { window } => {
+                if window <= 1 {
+                    0
+                } else {
+                    self.delay_rng.random_range(0..window)
+                }
+            }
+        };
+        self.record(delay);
+        self.schedule_raw(beat + delay, phase, envelope);
+    }
+
+    /// Schedules an envelope at an adversary- or fault-chosen delay,
+    /// clamped into the model's window (0 under lockstep) — the seam
+    /// through which Byzantine senders rush or reorder.
+    pub(crate) fn schedule_at(
+        &mut self,
+        beat: u64,
+        phase: usize,
+        delay: u64,
+        envelope: Envelope<M>,
+    ) {
+        let delay = delay.min(self.model.window() - 1);
+        self.record(delay);
+        self.schedule_raw(beat + delay, phase, envelope);
+    }
+
+    fn schedule_raw(&mut self, deliver_beat: u64, phase: usize, envelope: Envelope<M>) {
+        self.pending
+            .entry((deliver_beat, phase))
+            .or_default()
+            .push(envelope);
+    }
+
+    /// Removes and returns everything due in `(beat, phase)`, in
+    /// scheduling order.
+    pub(crate) fn take_due(&mut self, beat: u64, phase: usize) -> Vec<Envelope<M>> {
+        self.pending.remove(&(beat, phase)).unwrap_or_default()
+    }
+
+    /// Envelopes still in flight (tests and shutdown accounting).
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use rand::SeedableRng;
+
+    fn env(tag: u64) -> Envelope<u64> {
+        Envelope {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            msg: tag,
+        }
+    }
+
+    #[test]
+    fn lockstep_delivers_same_slot_in_order() {
+        let mut s = DeliveryScheduler::new(TimingModel::Lockstep, SimRng::seed_from_u64(0));
+        s.schedule(3, 1, env(10));
+        s.schedule(3, 1, env(11));
+        let due: Vec<u64> = s.take_due(3, 1).into_iter().map(|e| e.msg).collect();
+        assert_eq!(due, vec![10, 11]);
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.histogram().is_empty(), "lockstep reports no histogram");
+    }
+
+    #[test]
+    fn bounded_delay_lands_inside_the_window() {
+        let window = 3;
+        let mut s = DeliveryScheduler::new(TimingModel::bounded(window), SimRng::seed_from_u64(7));
+        for i in 0..200 {
+            s.schedule(10, 0, env(i));
+        }
+        let mut seen = 0;
+        for beat in 10..10 + window {
+            seen += s.take_due(beat, 0).len();
+        }
+        assert_eq!(seen, 200, "every message lands within the window");
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.histogram().iter().sum::<u64>(), 200);
+        assert!(
+            s.histogram().iter().all(|&c| c > 0),
+            "uniform draws should populate every bucket: {:?}",
+            s.histogram()
+        );
+    }
+
+    #[test]
+    fn adversary_delay_is_clamped_to_the_window() {
+        let mut s = DeliveryScheduler::new(TimingModel::bounded(2), SimRng::seed_from_u64(1));
+        s.schedule_at(5, 0, 99, env(1)); // clamped to delay 1
+        assert!(s.take_due(5, 0).is_empty());
+        assert_eq!(s.take_due(6, 0).len(), 1);
+
+        let mut lock = DeliveryScheduler::new(TimingModel::Lockstep, SimRng::seed_from_u64(1));
+        lock.schedule_at(5, 0, 99, env(2)); // lockstep forces delay 0
+        assert_eq!(lock.take_due(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn window_one_is_instant_but_still_observed() {
+        let mut s = DeliveryScheduler::new(TimingModel::bounded(1), SimRng::seed_from_u64(3));
+        s.schedule(0, 0, env(1));
+        assert_eq!(s.take_due(0, 0).len(), 1);
+        assert_eq!(s.histogram(), &[1]);
+    }
+
+    #[test]
+    fn model_rendering_and_window() {
+        assert_eq!(TimingModel::Lockstep.to_string(), "lockstep");
+        assert_eq!(TimingModel::bounded(4).to_string(), "bounded-delay:4");
+        assert_eq!(TimingModel::Lockstep.window(), 1);
+        assert_eq!(TimingModel::bounded(4).window(), 4);
+        assert!(TimingModel::Lockstep.is_lockstep());
+        assert!(!TimingModel::bounded(2).is_lockstep());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_is_rejected() {
+        let _ = TimingModel::bounded(0);
+    }
+}

@@ -86,9 +86,9 @@ pub mod scenario {
     //! ticket/XOR stacks, `baselines`' Table 1 clocks).
 
     pub use byzclock_core::scenario::{
-        builder_for, clock_adversary, drive, drive_exact, AdversarySpec, ClockRun, CoinSpec,
-        FaultPlanSpec, ProtocolFamily, ProtocolRegistry, RunReport, ScenarioError, ScenarioRun,
-        ScenarioSpec, TrafficSummary, DEFAULT_SYNC_WINDOW,
+        builder_for, clock_adversary, delay_extras, drive, drive_exact, AdversarySpec, ClockRun,
+        CoinSpec, FaultPlanSpec, ProtocolFamily, ProtocolRegistry, RunReport, ScenarioError,
+        ScenarioRun, ScenarioSpec, TimingModel, TrafficSummary, DEFAULT_SYNC_WINDOW,
     };
 
     /// A registry with every protocol family in the workspace registered.

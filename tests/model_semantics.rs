@@ -113,6 +113,53 @@ fn same_beat_delivery_drives_lockstep_flip() {
     assert!(sim.correct_apps().all(|(_, a)| a.clock() == Trit::One));
 }
 
+/// The §6.3 bounded-delay extension of Def. 2.2(1): a 1-beat window is
+/// exactly same-beat delivery (the lockstep flip still happens), and a
+/// wider window records every observed delay inside the window.
+#[test]
+fn bounded_delay_window_bounds_every_delivery() {
+    use byzclock::sim::TimingModel;
+    let beacon = OracleBeacon::perfect(3);
+    let mut sim = SimBuilder::new(4, 1)
+        .seed(1)
+        .timing(TimingModel::bounded(1))
+        .build(
+            move |cfg, _rng| {
+                let mut c = TwoClock::new(cfg, beacon.source(cfg.id));
+                c.set_clock(Trit::Zero);
+                c
+            },
+            byzclock::sim::SilentAdversary,
+        );
+    sim.step();
+    assert!(
+        sim.correct_apps().all(|(_, a)| a.clock() == Trit::One),
+        "a 1-beat window must reproduce same-beat delivery"
+    );
+    assert_eq!(
+        sim.delay_histogram(),
+        &[12],
+        "3 senders x 4 targets, all at delay 0"
+    );
+
+    let beacon = OracleBeacon::perfect(3);
+    let mut sim = SimBuilder::new(4, 1)
+        .seed(1)
+        .timing(TimingModel::bounded(3))
+        .build(
+            move |cfg, _rng| TwoClock::new(cfg, beacon.source(cfg.id)),
+            byzclock::sim::SilentAdversary,
+        );
+    sim.run_beats(50);
+    let hist = sim.delay_histogram().to_vec();
+    assert_eq!(hist.len(), 3, "no delay outside the 3-beat window");
+    assert_eq!(hist.iter().sum::<u64>(), 3 * 4 * 50);
+    assert!(
+        hist.iter().all(|&c| c > 0),
+        "uniform window draws: {hist:?}"
+    );
+}
+
 /// Envelope payloads are delivered unmodified (Def. 2.2(2)): wire encoding
 /// is observational only.
 #[test]

@@ -229,6 +229,90 @@ fn full_stack_converges_under_every_clock_adversary() {
     }
 }
 
+/// The `delay=` timing knob round-trips through the one-line form on
+/// every registered protocol family, and lockstep lines never carry it.
+#[test]
+fn delay_field_round_trips_on_every_family() {
+    for (name, spec) in representative_specs() {
+        let lockstep_line = spec.to_string();
+        assert!(
+            !lockstep_line.contains("delay="),
+            "{name}: lockstep line must stay delay-free: {lockstep_line}"
+        );
+        let delayed = spec.with_delay(2);
+        let line = delayed.to_string();
+        assert!(line.contains(" delay=2 "), "{name}: {line}");
+        let reparsed = ScenarioSpec::parse(&line)
+            .unwrap_or_else(|e| panic!("{name}: `{line}` failed to parse: {e}"));
+        assert_eq!(reparsed, delayed, "{name}: delay round trip");
+        assert_eq!(
+            reparsed.timing(),
+            byzclock::scenario::TimingModel::BoundedDelay { window: 2 }
+        );
+    }
+}
+
+/// Lockstep reproduces the seed-era reports byte-for-byte: these JSON
+/// lines were captured from the pre-timing-model simulator (the same-beat
+/// delivery loop before the scheduler refactor). Any drift here means the
+/// `TimingModel::Lockstep` path is no longer the paper's global beat.
+#[test]
+fn lockstep_pins_the_pre_refactor_seed_reports() {
+    let goldens = [
+        (
+            "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start seed=3 budget=3000",
+            r#"{"spec":"clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start seed=3 budget=3000","beats":14,"converged_at":6,"measured_from":0,"final_streak":8,"final_clocks":[7,7,7,7,7],"traffic":{"correct_msgs":5719,"correct_bytes":978222,"byz_msgs":0,"byz_bytes":0,"forged_dropped":0,"phantom_msgs":0,"mean_correct_msgs_per_beat":408.500,"mean_correct_bytes_per_beat":69873.000},"extras":{}}"#,
+        ),
+        (
+            "two-clock n=7 f=2 coin=oracle adv=split-vote faults=corrupt-start seed=5 budget=2000",
+            r#"{"spec":"two-clock n=7 f=2 k=8 coin=oracle:500,500 adv=split-vote faults=corrupt-start seed=5 budget=2000","beats":10,"converged_at":2,"measured_from":0,"final_streak":8,"final_clocks":[0,0,0,0,0],"traffic":{"correct_msgs":350,"correct_bytes":700,"byz_msgs":140,"byz_bytes":280,"forged_dropped":0,"phantom_msgs":0,"mean_correct_msgs_per_beat":35.000,"mean_correct_bytes_per_beat":70.000},"extras":{}}"#,
+        ),
+        (
+            "pk-clock n=4 f=1 k=32 coin=none adv=silent faults=corrupt-start seed=1 budget=500",
+            r#"{"spec":"pk-clock n=4 f=1 k=32 coin=none adv=silent faults=corrupt-start seed=1 budget=500","beats":33,"converged_at":25,"measured_from":0,"final_streak":8,"final_clocks":[15,15,15],"traffic":{"correct_msgs":2640,"correct_bytes":13524,"byz_msgs":0,"byz_bytes":0,"forged_dropped":0,"phantom_msgs":0,"mean_correct_msgs_per_beat":80.000,"mean_correct_bytes_per_beat":409.818},"extras":{}}"#,
+        ),
+        (
+            "coin-stream n=4 f=1 coin=ticket adv=coin-noise:4 faults=none seed=11 budget=40",
+            r#"{"spec":"coin-stream n=4 f=1 k=8 coin=ticket adv=coin-noise:4 faults=none seed=11 budget=40","beats":40,"converged_at":null,"measured_from":0,"final_streak":0,"final_clocks":[],"traffic":{"correct_msgs":1920,"correct_bytes":158976,"byz_msgs":640,"byz_bytes":41120,"forged_dropped":0,"phantom_msgs":0,"mean_correct_msgs_per_beat":48.000,"mean_correct_bytes_per_beat":3974.400},"extras":{"p0":0.694444,"p1":0.305556,"agreement_rate":1.000000,"measured_beats":36.000000}}"#,
+        ),
+    ];
+    for (line, golden) in goldens {
+        let spec = ScenarioSpec::parse(line).unwrap();
+        let report = Scenario::run(&spec).unwrap();
+        assert_eq!(
+            report.to_json(),
+            golden,
+            "lockstep drifted from the seed report for `{line}`"
+        );
+    }
+}
+
+/// Bounded-delay scenarios run end-to-end: `delay=2` parses, resolves,
+/// replays deterministically, and reports the delay extras the grid
+/// aggregates.
+#[test]
+fn bounded_delay_scenarios_report_delay_extras() {
+    let spec = ScenarioSpec::parse(
+        "clock-sync n=7 f=2 k=8 coin=oracle adv=silent faults=corrupt-start delay=2 \
+         seed=2 budget=300",
+    )
+    .unwrap();
+    let registry = default_registry();
+    let a = registry.run_exact(&spec).unwrap();
+    let b = registry.run_exact(&spec).unwrap();
+    assert_eq!(a, b, "bounded delay must replay bit-identically");
+    assert_eq!(a.extra("delay_window"), Some(2.0));
+    let h0 = a.extra("delay_hist_0").unwrap();
+    let h1 = a.extra("delay_hist_1").unwrap();
+    assert!(h0 > 0.0 && h1 > 0.0);
+    let mean = a.extra("mean_delay").unwrap();
+    assert!(mean > 0.0 && mean < 1.0, "mean delay {mean}");
+    // The window seed is part of the master seed: a different seed draws
+    // different delays.
+    let c = registry.run_exact(&spec.clone().with_seed(3)).unwrap();
+    assert_ne!(a, c);
+}
+
 /// `beats_to_sync` measures from the end of the last scheduled fault, so
 /// recovery scenarios report recovery time, not absolute beats.
 #[test]
