@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- \
-//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|all]
+//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|d2|all]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! ```
@@ -16,8 +16,8 @@
 //!
 //! `--jsonl` switches the output to one [`RunReport::to_json`] line per
 //! executed spec — stable key order, diffable across runs and PRs.
-//! It applies to the `spec` subcommand and to the sweep-based `d1` grid;
-//! the hand-aggregated paper tables always render Markdown.
+//! It applies to the `spec` subcommand and to the sweep-based `d1`/`d2`
+//! grids; the hand-aggregated paper tables always render Markdown.
 
 use byzclock::scenario::{
     default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, ProtocolRegistry, RunReport,
@@ -34,10 +34,10 @@ fn main() {
         run_spec_lines(&args[1..]);
         return;
     }
-    if jsonl && which != "d1" {
+    if jsonl && which != "d1" && which != "d2" {
         // The hand-aggregated paper tables have no JSONL form; refusing
         // beats silently mixing Markdown and JSON on one stream.
-        eprintln!("--jsonl applies to `spec` and the sweep-based `d1` grid only");
+        eprintln!("--jsonl applies to `spec` and the sweep-based `d1`/`d2` grids only");
         std::process::exit(2);
     }
     let run_all = which == "all";
@@ -81,6 +81,9 @@ fn main() {
     }
     if run_all || which == "d1" {
         d1_bounded_delay_grid(jsonl);
+    }
+    if run_all || which == "d2" {
+        d2_delay_tolerance_grid(jsonl);
     }
 }
 
@@ -673,59 +676,36 @@ fn m1_message_complexity() {
     );
 }
 
-// ---------------------------------------------------------------------------
-// D1: §6.3 bounded-delay (semi-synchronous) grid
-// ---------------------------------------------------------------------------
-
-/// Lockstep vs bounded-delay sweep: the paper's protocols are specified
-/// for the global beat system, so this grid *measures* how far each one
-/// degrades when delivery stretches over a window — the §6.3 future-work
-/// rows of Table 1 turned into runnable scenarios. Built on
-/// [`byzclock_bench::sweep`]; `--jsonl` dumps every report as one JSON
-/// line instead of the aggregated table.
-fn d1_bounded_delay_grid(jsonl: bool) {
+/// Shared scaffolding of the lockstep-vs-delay grids (D1/D2): fans every
+/// `(row, delay, trial)` out as one spec through [`byzclock_bench::sweep`]
+/// (flat, seed-ordered — the chunked aggregation below mirrors this build
+/// order exactly), dumps one JSON line per report under `--jsonl`, or
+/// renders the aggregated Markdown table. `annotate` appends a grid's
+/// per-cell extras (D1: mean message delay; D2: the quorum/timeout
+/// advancement split).
+fn delay_grid(
+    jsonl: bool,
+    name: &str,
+    heading: &str,
+    intro: &str,
+    rows: &[(&str, ScenarioSpec)],
+    annotate: impl Fn(&mut String, &[&RunReport], u64),
+) {
     let registry = default_registry();
     let ntrials = trials(20);
-    let horizon = 10_000u64;
+    let horizon = rows
+        .iter()
+        .map(|(_, base)| base.beat_budget)
+        .max()
+        .unwrap_or(10_000);
     let delays: [u64; 4] = [0, 1, 2, 3];
-
-    struct Row {
-        label: &'static str,
-        base: ScenarioSpec,
-    }
-    let rows = [
-        Row {
-            label: "2-clock (oracle, splitter)",
-            base: ScenarioSpec::new("two-clock", 7, 2)
-                .with_coin(CoinSpec::perfect_oracle())
-                .with_adversary(AdversarySpec::SplitVote)
-                .with_faults(FaultPlanSpec::corrupt_start())
-                .with_budget(horizon),
-        },
-        Row {
-            label: "clock-sync k=8 (oracle, silent)",
-            base: ScenarioSpec::new("clock-sync", 7, 2)
-                .with_modulus(8)
-                .with_coin(CoinSpec::perfect_oracle())
-                .with_faults(FaultPlanSpec::corrupt_start())
-                .with_budget(horizon),
-        },
-        Row {
-            label: "broken-2-clock (rand-aware splitter)",
-            base: ScenarioSpec::new("broken-two-clock", 7, 2)
-                .with_coin(CoinSpec::perfect_oracle())
-                .with_adversary(AdversarySpec::RandAwareSplitter)
-                .with_faults(FaultPlanSpec::corrupt_start())
-                .with_budget(horizon),
-        },
-    ];
 
     // One flat, seed-ordered grid: every (row, delay, trial) is a spec.
     let mut specs = Vec::new();
-    for row in &rows {
+    for (_, base) in rows {
         for &delay in &delays {
             for seed in 0..ntrials {
-                specs.push(row.base.clone().with_delay(delay).with_seed(seed));
+                specs.push(base.clone().with_delay(delay).with_seed(seed));
             }
         }
     }
@@ -747,37 +727,25 @@ fn d1_bounded_delay_grid(jsonl: bool) {
         return;
     }
 
-    println!("## D1 — §6.3 bounded-delay grid: convergence vs delivery window\n");
-    println!(
-        "delay=0 is the paper's lockstep beat; delay=d delivers each correct\n\
-         message within a seeded d-beat window while the adversary rushes.\n\
-         The protocols are *specified* for lockstep — this grid measures the\n\
-         degradation the §6.3 future work has to beat. Cells: mean beats\n\
-         (p95) over trials; mean msg delay from the report extras.\n"
-    );
+    println!("{heading}\n");
+    println!("{intro}\n");
     let mut table = Vec::new();
     let mut chunks = reports.chunks(ntrials as usize);
-    for row in &rows {
-        let mut cells = vec![row.label.to_string()];
+    for (label, _) in rows {
+        let mut cells = vec![label.to_string()];
         for &delay in &delays {
-            let chunk = chunks.next().expect("grid shape");
-            let samples: Vec<Option<u64>> = chunk
+            let chunk: Vec<&RunReport> = chunks
+                .next()
+                .expect("grid shape")
                 .iter()
                 .map(|r| {
                     r.as_ref()
-                        .unwrap_or_else(|e| panic!("d1 spec failed: {e}"))
-                        .beats_to_sync()
+                        .unwrap_or_else(|e| panic!("{name} spec failed: {e}"))
                 })
                 .collect();
-            let mean_delay = chunk
-                .iter()
-                .filter_map(|r| r.as_ref().ok()?.extra("mean_delay"))
-                .sum::<f64>()
-                / chunk.len() as f64;
+            let samples: Vec<Option<u64>> = chunk.iter().map(|r| r.beats_to_sync()).collect();
             let mut cell = Summary::of(&samples).cell(horizon);
-            if delay > 0 {
-                cell.push_str(&format!(" · d̄={mean_delay:.2}"));
-            }
+            annotate(&mut cell, &chunk, delay);
             cells.push(cell);
         }
         table.push(cells);
@@ -793,4 +761,149 @@ fn d1_bounded_delay_grid(jsonl: bool) {
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", md_table(&headers_ref, &table));
+}
+
+// ---------------------------------------------------------------------------
+// D1: §6.3 bounded-delay (semi-synchronous) grid
+// ---------------------------------------------------------------------------
+
+/// Lockstep vs bounded-delay sweep: the paper's protocols are specified
+/// for the global beat system, so this grid *measures* how far each one
+/// degrades when delivery stretches over a window — the §6.3 future-work
+/// rows of Table 1 turned into runnable scenarios. Built on
+/// [`byzclock_bench::sweep`]; `--jsonl` dumps every report as one JSON
+/// line instead of the aggregated table.
+fn d1_bounded_delay_grid(jsonl: bool) {
+    let horizon = 10_000u64;
+    let rows = [
+        (
+            "2-clock (oracle, splitter)",
+            ScenarioSpec::new("two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_adversary(AdversarySpec::SplitVote)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+        (
+            "clock-sync k=8 (oracle, silent)",
+            ScenarioSpec::new("clock-sync", 7, 2)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+        (
+            "broken-2-clock (rand-aware splitter)",
+            ScenarioSpec::new("broken-two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_adversary(AdversarySpec::RandAwareSplitter)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+    ];
+    delay_grid(
+        jsonl,
+        "d1",
+        "## D1 — \u{a7}6.3 bounded-delay grid: convergence vs delivery window",
+        "delay=0 is the paper's lockstep beat; delay=d delivers each correct\n\
+         message within a seeded d-beat window while the adversary rushes.\n\
+         The protocols are *specified* for lockstep — this grid measures the\n\
+         degradation the \u{a7}6.3 future work has to beat. Cells: mean beats\n\
+         (p95) over trials; mean msg delay from the report extras.",
+        &rows,
+        |cell, chunk, delay| {
+            if delay == 0 {
+                return;
+            }
+            let mean_delay = chunk
+                .iter()
+                .filter_map(|r| r.extra("mean_delay"))
+                .sum::<f64>()
+                / chunk.len() as f64;
+            cell.push_str(&format!(" \u{b7} d\u{304}={mean_delay:.2}"));
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// D2: delay tolerance — bd-clock vs the lockstep protocols
+// ---------------------------------------------------------------------------
+
+/// The answer to D1's measured gap: the same lockstep-vs-delay sweep, with
+/// the `bd-clock` (buffered round engine) rows added. The lockstep
+/// protocols stop converging at `delay>=2`; `bd-clock` keeps a finite
+/// convergence beat across the whole `delay=0..3` range, with extras
+/// showing how its progress splits between quorum ticks and
+/// timeout-driven merge events. Built on [`byzclock_bench::sweep`];
+/// `--jsonl` dumps every report as one JSON line.
+fn d2_delay_tolerance_grid(jsonl: bool) {
+    let horizon = 10_000u64;
+    let rows = [
+        (
+            "2-clock (oracle, silent) — lockstep-specified",
+            ScenarioSpec::new("two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+        (
+            "clock-sync k=8 (oracle, silent) — lockstep-specified",
+            ScenarioSpec::new("clock-sync", 7, 2)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+        (
+            "bd-clock k=8 (oracle, silent) — delay-tolerant",
+            ScenarioSpec::new("bd-clock", 7, 2)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+        (
+            "bd-clock k=8 (oracle, tag-equivocator)",
+            ScenarioSpec::new("bd-clock", 7, 2)
+                .with_modulus(8)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_adversary(AdversarySpec::Equivocate)
+                .with_faults(FaultPlanSpec::corrupt_start())
+                .with_budget(horizon),
+        ),
+    ];
+    delay_grid(
+        jsonl,
+        "d2",
+        "## D2 — delay tolerance: bd-clock closes the d1 grid gap",
+        "Same sweep as D1 (corrupted starts, mean beats (p95) over trials),\n\
+         with the buffered-round-engine clock added. Lockstep-specified\n\
+         protocols stop converging at delay>=2; bd-clock's round-tagged\n\
+         quorum advancement keeps a finite convergence beat across the\n\
+         whole range. bd-clock cells also show the quorum-vs-timeout\n\
+         advancement split (q/t, per node) from the report extras.",
+        &rows,
+        |cell, chunk, _delay| {
+            let mean_extra = |name: &str| {
+                let vals: Vec<f64> = chunk.iter().filter_map(|r| r.extra(name)).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            };
+            if let (Some(q), Some(t)) = (
+                mean_extra("bd_quorum_ticks"),
+                mean_extra("bd_timeout_events"),
+            ) {
+                cell.push_str(&format!(" \u{b7} q/t={q:.0}/{t:.0}"));
+            }
+        },
+    );
+    if !jsonl {
+        println!(
+            "Rerun any cell:\n  cargo run --release -p byzclock-bench --bin experiments -- spec \\\n    \"{}\"\n",
+            rows[2].1.clone().with_delay(2).with_seed(0)
+        );
+    }
 }

@@ -253,11 +253,7 @@ impl<R: RandSource> Application for ClockSync<R> {
                 let sub: Vec<Envelope<FourClockMsg<R::Msg>>> = inbox
                     .iter()
                     .filter_map(|e| match &e.msg {
-                        ClockSyncMsg::Four(m) => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            msg: m.clone(),
-                        }),
+                        ClockSyncMsg::Four(m) => Some(e.map(m.clone())),
                         _ => None,
                     })
                     .collect();

@@ -59,11 +59,7 @@ fn sub_inbox<M: Clone>(
     inbox
         .iter()
         .filter_map(|e| match (&e.msg, want_a1) {
-            (FourClockMsg::A1(m), true) | (FourClockMsg::A2(m), false) => Some(Envelope {
-                from: e.from,
-                to: e.to,
-                msg: m.clone(),
-            }),
+            (FourClockMsg::A1(m), true) | (FourClockMsg::A2(m), false) => Some(e.map(m.clone())),
             _ => None,
         })
         .collect()

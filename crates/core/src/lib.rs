@@ -41,6 +41,8 @@
 pub mod adversary;
 pub mod scenario;
 
+mod bd_clock;
+mod buffered;
 mod clock;
 mod clock_sync;
 mod four_clock;
@@ -51,6 +53,9 @@ mod round;
 mod trit;
 mod two_clock;
 
+pub use bd_clock::adversary::{RandomTagAdversary, TagEquivocator};
+pub use bd_clock::{BdClock, BdClockMsg};
+pub use buffered::{Advance, BufferedApp, BufferedRounds, BufferedStats, RoundMsg};
 pub use clock::{all_synced, run_until_stable_sync, DigitalClock, SyncTracker};
 pub use clock_sync::{ClockSync, ClockSyncMsg};
 pub use four_clock::{FourClock, FourClockMsg, SharedFourClock, SharedFourClockMsg};

@@ -19,6 +19,15 @@
 //! (`byzclock-baselines`): pipelining Byzantine-agreement instances over
 //! predicted clock values is the §6.2 transformation with a deterministic
 //! inner protocol.
+//!
+//! **Execution modes.** This module is the *lockstep* execution mode of
+//! [`RoundProtocol`]: it equates the driver's beat index with the round
+//! index, which is only sound in the paper's global-beat model (every
+//! message arrives the beat it was sent). Its semi-synchronous sibling is
+//! [`crate::BufferedRounds`], which carries the round index on the wire
+//! and advances on quorums or timeouts instead of beats — same trait,
+//! same instances, different clockwork. Lockstep runs of the two modes
+//! are output-identical; see the `buffered` module docs for the contract.
 
 use crate::round::RoundProtocol;
 use bytes::BytesMut;

@@ -132,11 +132,7 @@ impl<R: RandSource> Application for RecursiveClock<R> {
             let sub: Vec<Envelope<TwoClockMsg<R::Msg>>> = inbox
                 .iter()
                 .filter(|&e| usize::from(e.msg.level) == phase)
-                .map(|e| Envelope {
-                    from: e.from,
-                    to: e.to,
-                    msg: e.msg.msg.clone(),
-                })
+                .map(|e| e.map(e.msg.msg.clone()))
                 .collect();
             self.levels[phase].step_deliver(&sub, rng);
         }

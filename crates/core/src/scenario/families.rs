@@ -10,9 +10,11 @@ use super::spec::{AdversarySpec, CoinSpec, ScenarioSpec};
 use crate::adversary::{
     EquivocatingAdversary, RandAwareSplitter, RandomVoteAdversary, SplitVoteAdversary, VoteMessage,
 };
+use crate::bd_clock::adversary::{RandomTagAdversary, TagEquivocator};
+use crate::bd_clock::{BdClock, BdClockMsg};
 use crate::clock_sync::ClockSync;
 use crate::four_clock::FourClock;
-use crate::rand_source::{LocalRand, OracleBeacon, OracleRand};
+use crate::rand_source::{LocalRand, OracleBeacon, OracleRand, RandSource};
 use crate::recursive::RecursiveClock;
 use crate::two_clock::{BrokenTwoClock, TwoClock};
 use byzclock_sim::{derive_seed, Adversary, SilentAdversary, SimBuilder};
@@ -24,7 +26,8 @@ pub fn register_protocols(registry: &mut ProtocolRegistry) {
         .register(Box::new(BrokenTwoClockFamily))
         .register(Box::new(FourClockFamily))
         .register(Box::new(ClockSyncFamily))
-        .register(Box::new(RecursiveFamily));
+        .register(Box::new(RecursiveFamily))
+        .register(Box::new(BdClockFamily));
 }
 
 /// The seed stream tag the `i`-th beacon of a scenario draws from (so node
@@ -295,6 +298,100 @@ impl ProtocolFamily for RecursiveFamily {
     }
 }
 
+/// `bd-clock` — the bounded-delay-tolerant threshold clock on the
+/// buffered round engine. The only family in the registry *specified* for
+/// the semi-synchronous model: it converges for `delay=0..=3` where the
+/// lockstep protocols stop at `delay>=2` (the `experiments d2` grid).
+struct BdClockFamily;
+
+/// Resolves the spec's adversary in the round-tag message space: the
+/// `VoteMessage` strategies have no `Trit` votes to forge here — what a
+/// bd-clock adversary forges is the tag itself (and the envelope-level
+/// claimed send beat).
+fn bd_adversary(spec: &ScenarioSpec) -> Result<Box<dyn Adversary<BdClockMsg>>, ScenarioError> {
+    let k = spec.clock_modulus;
+    Ok(match spec.adversary {
+        AdversarySpec::Silent => Box::new(SilentAdversary),
+        AdversarySpec::RandomVote => Box::new(RandomTagAdversary { k }),
+        AdversarySpec::Equivocate => Box::new(TagEquivocator { k }),
+        _ => {
+            return Err(ScenarioError::UnsupportedAdversary {
+                protocol: spec.protocol.clone(),
+                adversary: spec.adversary.to_string(),
+            })
+        }
+    })
+}
+
+/// Samples the bd-clock engine/rule counters (mean over correct nodes)
+/// into report extras: quorum-vs-timeout advancement, catch-ups, jumps,
+/// coin resets, rounds buffered ahead, dropped tags, late arrivals.
+pub fn bd_clock_extras<R, Adv>(
+    sim: &byzclock_sim::Simulation<BdClock<R>, Adv>,
+) -> Vec<(String, f64)>
+where
+    R: RandSource<Msg = ()>,
+    Adv: Adversary<BdClockMsg>,
+{
+    let mut sums: Vec<(String, f64)> = Vec::new();
+    let mut count = 0usize;
+    for (_, app) in sim.correct_apps() {
+        count += 1;
+        for (name, value) in app.metrics() {
+            match sums.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 += value,
+                None => sums.push((name, value)),
+            }
+        }
+    }
+    if count == 0 {
+        return Vec::new();
+    }
+    for (_, v) in &mut sums {
+        *v /= count as f64;
+    }
+    sums
+}
+
+impl ProtocolFamily for BdClockFamily {
+    fn name(&self) -> &'static str {
+        "bd-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "bounded-delay-tolerant threshold clock (buffered round engine); converges for delay=0..3"
+    }
+
+    fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        let k = spec.clock_modulus;
+        let window = spec.timing().window();
+        if !(4..=255).contains(&k) || k < 2 * window {
+            return Err(ScenarioError::InvalidSpec(format!(
+                "bd-clock needs a modulus in 4..=255 with k >= 2*delay-window, got k={k} window={window}"
+            )));
+        }
+        let adversary = bd_adversary(spec)?;
+        match spec.coin {
+            CoinSpec::Oracle { .. } => {
+                let beacon = oracle_beacon(spec, 0);
+                let sim = builder_for(spec).build(
+                    move |cfg, _rng| BdClock::new(cfg, k, window, beacon.source(cfg.id)),
+                    adversary,
+                );
+                Ok(Box::new(ClockRun::with_extras(sim, bd_clock_extras)))
+            }
+            CoinSpec::Local => {
+                let sim = builder_for(spec).build(
+                    move |cfg, _rng| BdClock::new(cfg, k, window, LocalRand),
+                    adversary,
+                );
+                Ok(Box::new(ClockRun::with_extras(sim, bd_clock_extras)))
+            }
+            _ => Err(unsupported_coin(spec)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::spec::FaultPlanSpec;
@@ -407,6 +504,56 @@ mod tests {
             .run(&ScenarioSpec::parse("two-clock n=4 f=1 coin=oracle budget=500").unwrap())
             .unwrap();
         assert!(lockstep.extra("delay_window").is_none());
+    }
+
+    #[test]
+    fn bd_clock_converges_where_lockstep_fails() {
+        // The registry-level statement of the d2 grid's headline: at
+        // delay=2 the lockstep two-clock stalls, bd-clock converges and
+        // reports its advancement extras.
+        let registry = registry();
+        let bd = ScenarioSpec::parse(
+            "bd-clock n=7 f=2 k=8 coin=oracle adv=silent faults=corrupt-start delay=2 \
+             seed=3 budget=3000",
+        )
+        .unwrap();
+        let report = registry.run(&bd).unwrap();
+        assert!(report.converged_at.is_some(), "{report:?}");
+        assert!(report.extra("bd_quorum_ticks").unwrap_or(0.0) > 0.0);
+        assert!(report.extra("delay_window") == Some(2.0));
+
+        let lockstep_protocol = ScenarioSpec::parse(
+            "two-clock n=7 f=2 coin=oracle adv=silent faults=corrupt-start delay=2 \
+             seed=3 budget=3000",
+        )
+        .unwrap();
+        let report = registry.run(&lockstep_protocol).unwrap();
+        assert!(
+            report.converged_at.is_none(),
+            "the lockstep 2-clock should not survive delay=2: {report:?}"
+        );
+    }
+
+    #[test]
+    fn bd_clock_rejects_narrow_moduli_and_foreign_adversaries() {
+        let registry = registry();
+        let narrow = ScenarioSpec::new("bd-clock", 7, 2)
+            .with_modulus(4)
+            .with_coin(CoinSpec::perfect_oracle())
+            .with_delay(3);
+        match registry.run(&narrow) {
+            Err(ScenarioError::InvalidSpec(msg)) => assert!(msg.contains("bd-clock")),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        let wrong_adv = ScenarioSpec::new("bd-clock", 7, 2)
+            .with_coin(CoinSpec::perfect_oracle())
+            .with_adversary(AdversarySpec::SplitVote);
+        match registry.run(&wrong_adv) {
+            Err(ScenarioError::UnsupportedAdversary { protocol, .. }) => {
+                assert_eq!(protocol, "bd-clock")
+            }
+            other => panic!("expected UnsupportedAdversary, got {other:?}"),
+        }
     }
 
     #[test]

@@ -33,7 +33,8 @@ mod run;
 mod spec;
 
 pub use families::{
-    builder_for, clock_adversary, four_clock_extras, recursive_levels, register_protocols,
+    bd_clock_extras, builder_for, clock_adversary, four_clock_extras, recursive_levels,
+    register_protocols,
 };
 pub use registry::{ProtocolFamily, ProtocolRegistry, ScenarioError};
 pub use run::{

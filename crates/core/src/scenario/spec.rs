@@ -532,7 +532,18 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// The keys [`ScenarioSpec::parse`] understands, in canonical order —
+    /// kept next to the `match` below so diagnostics never drift from the
+    /// parser.
+    pub const KEYS: [&'static str; 10] = [
+        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "seed", "budget",
+    ];
+
     /// Parses the single-line form (see the type-level example).
+    ///
+    /// Diagnostics name the offending token and list the valid keys, so a
+    /// typo in a logged spec line (or a hand-edited sweep file) points
+    /// straight at itself instead of failing generically.
     pub fn parse(s: &str) -> Result<Self, ScenarioError> {
         let mut tokens = s.split_whitespace();
         let protocol = tokens
@@ -541,9 +552,12 @@ impl ScenarioSpec {
         let mut spec = ScenarioSpec::new(protocol, 4, 1);
         let mut saw_f = false;
         for tok in tokens {
-            let (key, value) = tok
-                .split_once('=')
-                .ok_or_else(|| ScenarioError::Parse(format!("expected key=value, got `{tok}`")))?;
+            let (key, value) = tok.split_once('=').ok_or_else(|| {
+                ScenarioError::Parse(format!(
+                    "malformed token `{tok}`: expected key=value with a key from {}",
+                    ScenarioSpec::KEYS.join(", ")
+                ))
+            })?;
             let num = |v: &str| {
                 v.parse::<u64>()
                     .map_err(|_| ScenarioError::Parse(format!("bad number `{v}` for `{key}`")))
@@ -574,7 +588,10 @@ impl ScenarioSpec {
                 "seed" => spec.seed = num(value)?,
                 "budget" => spec.beat_budget = num(value)?,
                 _ => {
-                    return Err(ScenarioError::Parse(format!("unknown spec key `{key}`")));
+                    return Err(ScenarioError::Parse(format!(
+                        "unknown spec key `{key}` (in token `{tok}`); valid keys: {}",
+                        ScenarioSpec::KEYS.join(", ")
+                    )));
                 }
             }
         }
@@ -703,6 +720,26 @@ mod tests {
         assert!(ScenarioSpec::parse("two-clock n=4 coin=oracle:800,800").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 byz=9").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 faults=meteor@3").is_err());
+    }
+
+    #[test]
+    fn unknown_key_diagnostic_names_token_and_lists_keys() {
+        let err = ScenarioSpec::parse("two-clock n=4 dealy=2").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`dealy`"), "{msg}");
+        assert!(msg.contains("`dealy=2`"), "{msg}");
+        for key in ScenarioSpec::KEYS {
+            assert!(msg.contains(key), "missing valid key `{key}` in: {msg}");
+        }
+    }
+
+    #[test]
+    fn malformed_token_diagnostic_names_token_and_lists_keys() {
+        let err = ScenarioSpec::parse("two-clock n=4 delay2").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`delay2`"), "{msg}");
+        assert!(msg.contains("key=value"), "{msg}");
+        assert!(msg.contains("budget"), "{msg}");
     }
 
     #[test]

@@ -487,26 +487,18 @@ mod tests {
         let mut core = TwoClockCore::new(cfg);
         let byz = NodeId::new(3);
         let inbox: Vec<Envelope<TwoClockMsg<()>>> = vec![
-            Envelope {
-                from: NodeId::new(0),
-                to: NodeId::new(0),
-                msg: TwoClockMsg::Clock(Trit::Zero),
-            },
-            Envelope {
-                from: NodeId::new(1),
-                to: NodeId::new(0),
-                msg: TwoClockMsg::Clock(Trit::Zero),
-            },
-            Envelope {
-                from: byz,
-                to: NodeId::new(0),
-                msg: TwoClockMsg::Clock(Trit::Zero),
-            },
-            Envelope {
-                from: byz,
-                to: NodeId::new(0),
-                msg: TwoClockMsg::Clock(Trit::Zero),
-            },
+            Envelope::new(
+                NodeId::new(0),
+                NodeId::new(0),
+                TwoClockMsg::Clock(Trit::Zero),
+            ),
+            Envelope::new(
+                NodeId::new(1),
+                NodeId::new(0),
+                TwoClockMsg::Clock(Trit::Zero),
+            ),
+            Envelope::new(byz, NodeId::new(0), TwoClockMsg::Clock(Trit::Zero)),
+            Envelope::new(byz, NodeId::new(0), TwoClockMsg::Clock(Trit::Zero)),
         ];
         let (votes, _) = split_inbox(&inbox);
         assert_eq!(votes.len(), 3, "duplicate vote must be dropped");

@@ -40,8 +40,22 @@ pub fn solve(
     mut b: Vec<FpElem>,
     unknowns: usize,
 ) -> Option<Vec<FpElem>> {
+    solve_in_place(fp, &mut a, &mut b, unknowns)
+}
+
+/// [`solve`] on borrowed storage: the row-reduction happens inside `a` and
+/// `b`, which are left in eliminated (garbage, but allocated) state. This
+/// is the hot-loop entry point — Berlekamp–Welch retries the key equation
+/// with growing error budgets and reuses one workspace across attempts
+/// instead of reallocating the system each time.
+pub fn solve_in_place(
+    fp: &Fp,
+    a: &mut [Vec<FpElem>],
+    b: &mut [FpElem],
+    unknowns: usize,
+) -> Option<Vec<FpElem>> {
     assert_eq!(a.len(), b.len(), "matrix/rhs row mismatch");
-    for row in &a {
+    for row in a.iter() {
         assert_eq!(row.len(), unknowns, "row width mismatch");
     }
     let rows = a.len();

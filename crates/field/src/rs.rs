@@ -72,12 +72,18 @@ pub fn decode_with_errors(
         return None;
     }
     let budget = max_errors.min((n - degree - 1) / 2);
+    // One workspace for the whole attempt ladder: every `try_decode` call
+    // refills these rows in place instead of allocating a fresh system —
+    // this is the ticket-coin recover round's hot path (`benches/field.rs`
+    // measures it), and the matrix build dominated its allocator traffic.
+    let mut a: Vec<Vec<FpElem>> = Vec::with_capacity(n);
+    let mut b: Vec<FpElem> = Vec::with_capacity(n);
     // Ascending e: the clean/low-error case (the common one) solves the
     // smallest system. Correctness does not depend on the order — any
     // candidate within `budget` mismatches of the view is the unique
     // codeword at that distance.
     for e in 0..=budget {
-        if let Some(p) = try_decode(fp, points, degree, e) {
+        if let Some(p) = try_decode(fp, points, degree, e, &mut a, &mut b) {
             // Accept only if the candidate explains all but <= budget points;
             // this rejects spurious solutions of the key equation.
             let mismatches = points
@@ -97,16 +103,28 @@ pub fn decode_with_errors(
 /// Solves for `E(x)` monic of degree `e` and `Q(x)` of degree `<= degree+e`
 /// such that `Q(x_i) = y_i * E(x_i)` for every point, then returns `Q / E`
 /// when the division is exact.
-fn try_decode(fp: &Fp, points: &[(FpElem, FpElem)], degree: usize, e: usize) -> Option<Poly> {
+///
+/// `a`/`b` are the caller's reusable workspace (see
+/// [`decode_with_errors`]): rows are resized and refilled in place, and
+/// the elimination runs inside them via [`linalg::solve_in_place`].
+fn try_decode(
+    fp: &Fp,
+    points: &[(FpElem, FpElem)],
+    degree: usize,
+    e: usize,
+    a: &mut Vec<Vec<FpElem>>,
+    b: &mut Vec<FpElem>,
+) -> Option<Poly> {
     let n = points.len();
     let q_len = degree + e + 1; // unknown coefficients of Q
     let unknowns = q_len + e; // plus e non-leading coefficients of E
-    let mut a = Vec::with_capacity(n);
-    let mut b = Vec::with_capacity(n);
-    for &(x, y) in points {
+    a.resize_with(n, Vec::new);
+    b.clear();
+    for (&(x, y), row) in points.iter().zip(a.iter_mut()) {
         let x = fp.reduce(x);
         let y = fp.reduce(y);
-        let mut row = vec![0; unknowns];
+        row.clear();
+        row.resize(unknowns, 0);
         // Q coefficients: + x^j
         let mut xp: FpElem = 1 % fp.modulus();
         for coef in row.iter_mut().take(q_len) {
@@ -120,11 +138,9 @@ fn try_decode(fp: &Fp, points: &[(FpElem, FpElem)], degree: usize, e: usize) -> 
             xp = fp.mul(xp, x);
         }
         // Monic leading term of E moves to the rhs: y * x^e
-        let rhs = fp.mul(y, fp.pow(x, e as u64));
-        a.push(row);
-        b.push(rhs);
+        b.push(fp.mul(y, fp.pow(x, e as u64)));
     }
-    let sol = linalg::solve(fp, a, b, unknowns)?;
+    let sol = linalg::solve_in_place(fp, &mut a[..n], &mut b[..n], unknowns)?;
     let q = Poly::from_coeffs(sol[..q_len].to_vec());
     let mut e_coeffs = sol[q_len..].to_vec();
     e_coeffs.push(1); // monic

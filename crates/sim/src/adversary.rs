@@ -115,6 +115,7 @@ impl<'a, M> AdversaryView<'a, M> {
 /// beats ahead (clamped to the window — a no-op offset under lockstep).
 pub struct ByzOutbox<'a, M> {
     byz: &'a [NodeId],
+    beat: u64,
     sends: Vec<(u64, Envelope<M>)>,
     forged_dropped: u64,
     n: usize,
@@ -122,9 +123,10 @@ pub struct ByzOutbox<'a, M> {
 }
 
 impl<'a, M: Clone> ByzOutbox<'a, M> {
-    pub(crate) fn new(byz: &'a [NodeId], n: usize, rng: &'a mut SimRng) -> Self {
+    pub(crate) fn new(byz: &'a [NodeId], beat: u64, n: usize, rng: &'a mut SimRng) -> Self {
         ByzOutbox {
             byz,
+            beat,
             sends: Vec::new(),
             forged_dropped: 0,
             n,
@@ -133,8 +135,9 @@ impl<'a, M: Clone> ByzOutbox<'a, M> {
     }
 
     /// Send `msg` from Byzantine node `from` to `to`, rushed (delivered as
-    /// early as the timing model allows). Silently dropped (and counted)
-    /// if `from` is not under adversary control.
+    /// early as the timing model allows) and truthfully round-tagged with
+    /// the current beat. Silently dropped (and counted) if `from` is not
+    /// under adversary control.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.send_after(from, to, msg, 0);
     }
@@ -143,10 +146,47 @@ impl<'a, M: Clone> ByzOutbox<'a, M> {
     /// `delay_beats` beats from now (same exchange phase). The simulator
     /// clamps the delay into the timing model's window, so under lockstep
     /// this degenerates to [`ByzOutbox::send`]. Forged senders are dropped
-    /// and counted exactly like rushed sends.
+    /// and counted exactly like rushed sends. The round tag still claims
+    /// the current beat (the message *was* sent now — it just arrives
+    /// late); use [`ByzOutbox::send_tagged`] to lie about the tag itself.
     pub fn send_after(&mut self, from: NodeId, to: NodeId, msg: M, delay_beats: u64) {
+        let round = self.beat;
+        self.send_raw(from, to, msg, round, delay_beats);
+    }
+
+    /// Send `msg` rushed, with an arbitrary claimed round tag — the
+    /// envelope-level lie the model explicitly permits: the network
+    /// authenticates *who* sent a message, never *when* the sender claims
+    /// to have sent it.
+    pub fn send_tagged(&mut self, from: NodeId, to: NodeId, msg: M, claimed_round: u64) {
+        self.send_raw(from, to, msg, claimed_round, 0);
+    }
+
+    /// The fully general Byzantine send: arbitrary claimed round tag *and*
+    /// an arrival `delay_beats` beats ahead (clamped into the timing
+    /// model's window).
+    pub fn send_tagged_after(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        claimed_round: u64,
+        delay_beats: u64,
+    ) {
+        self.send_raw(from, to, msg, claimed_round, delay_beats);
+    }
+
+    fn send_raw(&mut self, from: NodeId, to: NodeId, msg: M, round: u64, delay_beats: u64) {
         if self.byz.contains(&from) {
-            self.sends.push((delay_beats, Envelope { from, to, msg }));
+            self.sends.push((
+                delay_beats,
+                Envelope {
+                    from,
+                    to,
+                    round,
+                    msg,
+                },
+            ));
         } else {
             self.forged_dropped += 1;
         }
@@ -217,21 +257,29 @@ pub(crate) fn visible_slice<M: Clone>(
     }
 }
 
-/// Expands a correct node's sends into stamped envelopes.
+/// Expands a correct node's sends into stamped envelopes: the runner
+/// authenticates `from` and stamps the true send beat as the round tag.
 pub(crate) fn stamp<M: Clone>(
     from: NodeId,
+    beat: u64,
     sends: Vec<(Target, M)>,
     n: usize,
     out: &mut Vec<Envelope<M>>,
 ) {
     for (target, msg) in sends {
         match target {
-            Target::One(to) => out.push(Envelope { from, to, msg }),
+            Target::One(to) => out.push(Envelope {
+                from,
+                to,
+                round: beat,
+                msg,
+            }),
             Target::All => {
                 for to in (0..n as u16).map(NodeId::new) {
                     out.push(Envelope {
                         from,
                         to,
+                        round: beat,
                         msg: msg.clone(),
                     });
                 }
@@ -249,13 +297,14 @@ mod tests {
     fn forged_sender_is_dropped() {
         let byz = [NodeId::new(3)];
         let mut rng = SimRng::seed_from_u64(0);
-        let mut out = ByzOutbox::new(&byz, 4, &mut rng);
+        let mut out = ByzOutbox::new(&byz, 0, 4, &mut rng);
         out.send(NodeId::new(3), NodeId::new(0), 1u64); // legit
         out.send(NodeId::new(1), NodeId::new(0), 2u64); // forged
         out.send_after(NodeId::new(1), NodeId::new(0), 3u64, 2); // forged, delayed
+        out.send_tagged(NodeId::new(1), NodeId::new(0), 4u64, 9); // forged, lying
         let (sends, forged) = out.into_parts();
         assert_eq!(sends.len(), 1);
-        assert_eq!(forged, 2);
+        assert_eq!(forged, 3);
         assert_eq!(sends[0].1.from, NodeId::new(3));
         assert_eq!(sends[0].0, 0, "plain send rushes");
     }
@@ -264,7 +313,7 @@ mod tests {
     fn send_after_records_the_requested_delay() {
         let byz = [NodeId::new(2)];
         let mut rng = SimRng::seed_from_u64(0);
-        let mut out = ByzOutbox::new(&byz, 4, &mut rng);
+        let mut out = ByzOutbox::new(&byz, 5, 4, &mut rng);
         out.send_after(NodeId::new(2), NodeId::new(0), 7u64, 3);
         let (sends, _) = out.into_parts();
         assert_eq!(
@@ -274,6 +323,7 @@ mod tests {
                 Envelope {
                     from: NodeId::new(2),
                     to: NodeId::new(0),
+                    round: 5,
                     msg: 7u64,
                 }
             )]
@@ -281,13 +331,28 @@ mod tests {
     }
 
     #[test]
+    fn tagged_sends_carry_the_claimed_round() {
+        let byz = [NodeId::new(2)];
+        let mut rng = SimRng::seed_from_u64(0);
+        let mut out = ByzOutbox::new(&byz, 10, 4, &mut rng);
+        out.send_tagged(NodeId::new(2), NodeId::new(0), 7u64, 3);
+        out.send_tagged_after(NodeId::new(2), NodeId::new(1), 8u64, 99, 2);
+        let (sends, _) = out.into_parts();
+        assert_eq!(sends[0].1.round, 3, "claimed tag, not the true beat");
+        assert_eq!(sends[0].0, 0, "send_tagged rushes");
+        assert_eq!(sends[1].1.round, 99);
+        assert_eq!(sends[1].0, 2);
+    }
+
+    #[test]
     fn byz_broadcast_reaches_all() {
         let byz = [NodeId::new(0)];
         let mut rng = SimRng::seed_from_u64(0);
-        let mut out = ByzOutbox::new(&byz, 5, &mut rng);
+        let mut out = ByzOutbox::new(&byz, 2, 5, &mut rng);
         out.broadcast(NodeId::new(0), 9u64);
         let (sends, forged) = out.into_parts();
         assert_eq!(sends.len(), 5);
+        assert!(sends.iter().all(|(_, e)| e.round == 2));
         assert_eq!(forged, 0);
     }
 
@@ -295,16 +360,8 @@ mod tests {
     fn private_channels_hide_correct_unicasts() {
         let byz = vec![NodeId::new(2)];
         let all = vec![
-            Envelope {
-                from: NodeId::new(0),
-                to: NodeId::new(1),
-                msg: 1u64,
-            }, // hidden
-            Envelope {
-                from: NodeId::new(0),
-                to: NodeId::new(2),
-                msg: 2u64,
-            }, // visible
+            Envelope::new(NodeId::new(0), NodeId::new(1), 1u64), // hidden
+            Envelope::new(NodeId::new(0), NodeId::new(2), 2u64), // visible
         ];
         let vis = visible_slice(&all, &byz, Visibility::PrivateChannels);
         assert_eq!(vis.len(), 1);
@@ -316,9 +373,11 @@ mod tests {
     #[test]
     fn stamp_expands_broadcast_to_all() {
         let mut out = Vec::new();
-        stamp(NodeId::new(1), vec![(Target::All, 7u64)], 4, &mut out);
+        stamp(NodeId::new(1), 6, vec![(Target::All, 7u64)], 4, &mut out);
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|e| e.from == NodeId::new(1) && e.msg == 7));
+        assert!(out
+            .iter()
+            .all(|e| e.from == NodeId::new(1) && e.msg == 7 && e.round == 6));
         let tos: Vec<u16> = out.iter().map(|e| e.to.raw()).collect();
         assert_eq!(tos, vec![0, 1, 2, 3]);
     }

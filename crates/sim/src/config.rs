@@ -203,6 +203,10 @@ impl SimBuilder {
         // perturbs no node/adversary/fault stream, and lockstep runs never
         // draw from it — historical seeds replay bit-for-bit.
         let delay_rng = stream_rng(seed, (1 << 32) + 2);
+        // Same discipline for phantom round tags: a separate stream keeps
+        // `fault_rng`'s draw sequence (phantom picks, recipients) exactly
+        // as it was before envelopes carried tags.
+        let phantom_tag_rng = stream_rng(seed, (1 << 32) + 3);
         Simulation::from_parts(
             n,
             f,
@@ -213,6 +217,7 @@ impl SimBuilder {
             adversary,
             adv_rng,
             fault_rng,
+            phantom_tag_rng,
             fault_plan,
             history_cap,
             timing,

@@ -2,19 +2,61 @@
 
 use crate::NodeId;
 
-/// A message in flight: sender, recipient, payload.
+/// A message in flight: sender, recipient, round tag, payload.
 ///
 /// The simulator stamps `from` itself for correct nodes — the network is
 /// authenticated (Def. 2.2(2) of the paper), so a Byzantine node can only
 /// forge envelopes from *its own* identity.
+///
+/// # The round tag
+///
+/// `round` is the beat the sender *claims* to have sent the message in.
+/// For correct nodes the runner stamps the true beat, so under a delayed
+/// timing model a receiver can classify traffic as on-time or late instead
+/// of assuming everything in its inbox belongs to the current beat. The
+/// tag is claimed metadata, not payload: it costs no wire bytes (traffic
+/// accounting is unchanged), Byzantine senders may lie about it freely
+/// ([`crate::ByzOutbox::send_tagged`]), and phantom replays resurface with
+/// arbitrary tags — so protocols must treat it as a hint, never as
+/// authenticated truth.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope<M> {
     /// Sender identity (authenticated by the network).
     pub from: NodeId,
     /// Recipient identity.
     pub to: NodeId,
+    /// The beat the sender claims this message was sent in (stamped
+    /// truthfully by the runner for correct nodes; arbitrary for Byzantine
+    /// senders and phantoms).
+    pub round: u64,
     /// Payload.
     pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// An envelope tagged with round 0 — the pre-tag constructor shape,
+    /// for tests and callers that re-wrap sub-protocol inboxes.
+    pub fn new(from: NodeId, to: NodeId, msg: M) -> Self {
+        Envelope {
+            from,
+            to,
+            round: 0,
+            msg,
+        }
+    }
+
+    /// The same envelope with a different payload, all metadata (sender,
+    /// recipient, round tag) preserved — the demultiplexing helper for
+    /// layered protocols that unwrap an envelope and hand the inner
+    /// message to a sub-protocol.
+    pub fn map<N>(&self, msg: N) -> Envelope<N> {
+        Envelope {
+            from: self.from,
+            to: self.to,
+            round: self.round,
+            msg,
+        }
+    }
 }
 
 /// Addressing mode for an outgoing message.
@@ -40,10 +82,27 @@ mod tests {
         let e = Envelope {
             from: NodeId::new(1),
             to: NodeId::new(2),
+            round: 7,
             msg: 42u64,
         };
         let e2 = e.clone();
         assert_eq!(e, e2);
         assert!(format!("{e:?}").contains("42"));
+    }
+
+    #[test]
+    fn map_preserves_metadata() {
+        let e = Envelope {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            round: 9,
+            msg: 42u64,
+        };
+        let inner = e.map("payload");
+        assert_eq!(inner.from, e.from);
+        assert_eq!(inner.to, e.to);
+        assert_eq!(inner.round, 9, "demultiplexing keeps the round tag");
+        assert_eq!(inner.msg, "payload");
+        assert_eq!(Envelope::new(NodeId::new(0), NodeId::new(1), ()).round, 0);
     }
 }

@@ -186,11 +186,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn env(tag: u64) -> Envelope<u64> {
-        Envelope {
-            from: NodeId::new(0),
-            to: NodeId::new(1),
-            msg: tag,
-        }
+        Envelope::new(NodeId::new(0), NodeId::new(1), tag)
     }
 
     #[test]

@@ -168,10 +168,6 @@ fn wire_encoding_does_not_affect_payloads() {
     let mut buf = bytes::BytesMut::new();
     msg.encode(&mut buf);
     assert_eq!(buf.len(), msg.encoded_len());
-    let e = Envelope {
-        from: NodeId::new(0),
-        to: NodeId::new(1),
-        msg: msg.clone(),
-    };
+    let e = Envelope::new(NodeId::new(0), NodeId::new(1), msg.clone());
     assert_eq!(e.msg, msg);
 }

@@ -46,6 +46,12 @@ fn representative_specs() -> Vec<(&'static str, ScenarioSpec)> {
             ScenarioSpec::new("shared-four-clock", 4, 1).with_budget(1_500),
         ),
         (
+            "bd-clock",
+            ScenarioSpec::new("bd-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_budget(1_000),
+        ),
+        (
             "coin-stream",
             ScenarioSpec::new("coin-stream", 4, 1)
                 .with_faults(FaultPlanSpec::none())
