@@ -7,9 +7,9 @@
 //! - [`PhaseKingConsensus`] (`n > 3f`): a Turpin–Coan front-end reduces the
 //!   multivalued input to one bit plus a locked candidate value, then
 //!   `f + 1` three-round phase-king phases decide the bit
-//!   (Berman–Garay–Perry). `2 + 3(f+1)` rounds total — the [7]-shaped row.
+//!   (Berman–Garay–Perry). `2 + 3(f+1)` rounds total — the \[7\]-shaped row.
 //! - [`QueenConsensus`] (`n > 4f`): `f + 1` two-round plurality/queen
-//!   phases decide the value directly — the [15]-shaped row with the
+//!   phases decide the value directly — the \[15\]-shaped row with the
 //!   weaker resiliency (experiment R1 shows it breaking at `f ≥ n/4`
 //!   while phase-king survives to `f < n/3`).
 //!

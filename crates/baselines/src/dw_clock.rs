@@ -1,4 +1,4 @@
-//! The Dolev–Welch-style probabilistic clock ([10] in Table 1).
+//! The Dolev–Welch-style probabilistic clock (\[10\] in Table 1).
 //!
 //! The algorithmic core of the first self-stabilizing Byzantine clock
 //! synchronization: broadcast your clock; if `n − f` nodes show the same

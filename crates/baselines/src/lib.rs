@@ -2,12 +2,12 @@
 //!
 //! | Table 1 row | Type here | Convergence | Resiliency |
 //! |---|---|---|---|
-//! | [10] sync, probabilistic | [`DwClock`] | expected `O(2^{2(n-f)})` | `f < n/3` |
-//! | [15] sync, deterministic | [`QueenClock`] | `O(f)` | `f < n/4` |
-//! | [7] sync, deterministic | [`PkClock`] | `O(f)` | `f < n/3` |
+//! | \[10\] sync, probabilistic | [`DwClock`] | expected `O(2^{2(n-f)})` | `f < n/3` |
+//! | \[15\] sync, deterministic | [`QueenClock`] | `O(f)` | `f < n/4` |
+//! | \[7\] sync, deterministic | [`PkClock`] | `O(f)` | `f < n/3` |
 //! | current paper | `byzclock_core::ClockSync` | expected `O(1)` | `f < n/3` |
 //!
-//! The two bounded-delay rows ([6, 5]) live in a different network model
+//! The two bounded-delay rows (\[6, 5\]) live in a different network model
 //! that this paper explicitly leaves to future work (§6.3); the experiment
 //! harness reports them analytically.
 //!

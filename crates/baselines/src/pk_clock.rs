@@ -1,5 +1,5 @@
 //! Deterministic pipelined clock synchronization — the `O(f)` rows of
-//! Table 1 ([7] shape at `f < n/3`, [15] shape at `f < n/4`).
+//! Table 1 (\[7\] shape at `f < n/3`, \[15\] shape at `f < n/4`).
 //!
 //! The §6.2 pipelining transformation with a *deterministic* inner
 //! protocol: every beat starts a fresh multivalued Byzantine-agreement
@@ -195,10 +195,10 @@ pub struct ConsensusClock<S: ConsensusScheme> {
     recent: VecDeque<u64>,
 }
 
-/// The `f < n/3` deterministic clock (Table 1 row [7]).
+/// The `f < n/3` deterministic clock (Table 1 row \[7\]).
 pub type PkClock = ConsensusClock<PhaseKingScheme>;
 
-/// The `f < n/4` deterministic clock (Table 1 row [15]).
+/// The `f < n/4` deterministic clock (Table 1 row \[15\]).
 pub type QueenClock = ConsensusClock<QueenScheme>;
 
 impl<S: ConsensusScheme> ConsensusClock<S> {

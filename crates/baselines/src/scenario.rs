@@ -49,7 +49,7 @@ fn ba_adversary(
     })
 }
 
-/// The Dolev-Welch-style probabilistic clock ([10]): local coins only,
+/// The Dolev-Welch-style probabilistic clock (\[10\]): local coins only,
 /// expected-exponential convergence.
 struct DwClockFamily;
 
@@ -77,7 +77,7 @@ impl ProtocolFamily for DwClockFamily {
     }
 }
 
-/// The `n > 4f` queen clock ([15]-shaped, O(f) via §6.2 pipelining).
+/// The `n > 4f` queen clock (\[15\]-shaped, O(f) via §6.2 pipelining).
 struct QueenClockFamily;
 
 impl ProtocolFamily for QueenClockFamily {
@@ -103,7 +103,7 @@ impl ProtocolFamily for QueenClockFamily {
     }
 }
 
-/// The `n > 3f` phase-king clock ([7]-shaped, O(f) via §6.2 pipelining).
+/// The `n > 3f` phase-king clock (\[7\]-shaped, O(f) via §6.2 pipelining).
 struct PkClockFamily;
 
 impl ProtocolFamily for PkClockFamily {

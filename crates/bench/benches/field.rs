@@ -1,7 +1,13 @@
 //! Substrate micro-benchmarks: the field/coding kernels the coin's recover
 //! round leans on (Berlekamp–Welch dominates the per-beat cost).
+//!
+//! The `berlekamp_welch_batch` group is the tentpole measurement: a
+//! beat-shaped batch of `n` codewords over one evaluation-point set,
+//! decoded per codeword (`sequential_*`) vs through one [`BatchDecoder`]
+//! (`batched_*`, decoder construction included — that is what the GVSS
+//! recover round pays each beat).
 
-use byzclock_field::{rs, Fp, Poly};
+use byzclock_field::{rs, BatchDecoder, Fp, Poly};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,5 +47,54 @@ fn bench_interpolate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decode, bench_interpolate);
+/// A beat-shaped batch: `n` codewords (one per dealer) over the shared
+/// point set `1..=n`, each with `errors` corrupted shares.
+fn batch(fp: &Fp, f: usize, n: usize, errors: usize, seed: u64) -> Vec<Vec<(u64, u64)>> {
+    (0..n)
+        .map(|i| shares(fp, f, n, errors, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+fn bench_batch_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("berlekamp_welch_batch");
+    for &(n, f) in &[(7usize, 2usize), (13, 4)] {
+        let fp = Fp::for_cluster(n);
+        let xs: Vec<u64> = (1..=n as u64).collect();
+        for (case, errors) in [("clean", 0), ("f_errors", f)] {
+            let pts = batch(&fp, f, n, errors, 7);
+            let ys: Vec<Vec<u64>> = pts
+                .iter()
+                .map(|cw| cw.iter().map(|&(_, y)| y).collect())
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("sequential_{case}"), n),
+                &pts,
+                |b, pts| {
+                    b.iter(|| {
+                        pts.iter()
+                            .filter_map(|cw| rs::decode(&fp, black_box(cw), f))
+                            .count()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("batched_{case}"), n),
+                &ys,
+                |b, ys| {
+                    b.iter(|| {
+                        let mut dec =
+                            BatchDecoder::new(&fp, &xs, f).expect("distinct xs, enough points");
+                        dec.decode_batch(black_box(ys))
+                            .iter()
+                            .filter(|p| p.is_some())
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_batch_decode, bench_interpolate);
 criterion_main!(benches);

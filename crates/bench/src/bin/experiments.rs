@@ -1,5 +1,4 @@
-//! Regenerates every table and figure of the paper (see DESIGN.md §5 and
-//! EXPERIMENTS.md).
+//! Regenerates every table and figure of the paper.
 //!
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- \
@@ -8,20 +7,17 @@
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! ```
 //!
-//! Every run is constructed through the scenario API — a
-//! [`ScenarioSpec`] resolved by the default [`ProtocolRegistry`] — so each
-//! table cell is a replayable one-line spec (pass one back with `spec` to
-//! rerun a single point). Knobs: `BYZCLOCK_TRIALS` (trial count scale),
-//! `BYZCLOCK_THREADS`.
-//!
-//! `--jsonl` switches the output to one [`RunReport::to_json`] line per
-//! executed spec — stable key order, diffable across runs and PRs.
-//! It applies to the `spec` subcommand and to the sweep-based `d1`/`d2`
-//! grids; the hand-aggregated paper tables always render Markdown.
+//! The full reference for the subcommands, `--jsonl`, the environment
+//! knobs, and the offline compat-stub story lives in one place: the
+//! `byzclock-bench` crate docs (`crates/bench/src/lib.rs`), mirrored in
+//! ARCHITECTURE.md's appendix. In short: every run is constructed through
+//! the scenario API — a [`ScenarioSpec`] resolved by the default
+//! [`ProtocolRegistry`] — so each table cell is a replayable one-line
+//! spec (pass one back with `spec` to rerun a single point).
 
 use byzclock::scenario::{
-    default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, ProtocolRegistry, RunReport,
-    ScenarioSpec,
+    default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolRegistry,
+    RunReport, ScenarioSpec,
 };
 use byzclock_bench::{default_threads, md_table, parallel_trials, sweep, trials, Summary};
 
@@ -261,14 +257,16 @@ fn f1_coin_contract() {
                 .with_coin(*coin)
                 .with_adversary(*adversary)
                 .with_faults(FaultPlanSpec::none())
+                .with_metrics(MetricsSpec::Decode)
                 .with_seed((i * columns.len() + j) as u64 + 1)
                 .with_budget(beats);
             let report = exact(&registry, &spec);
             cells.push(format!(
-                "p0={:.2} p1={:.2} agree={:.2}",
+                "p0={:.2} p1={:.2} agree={:.2} b\u{304}={:.0}",
                 report.extra("p0").unwrap_or(f64::NAN),
                 report.extra("p1").unwrap_or(f64::NAN),
                 report.extra("agreement_rate").unwrap_or(f64::NAN),
+                report.extra("decode_mean_batch").unwrap_or(f64::NAN),
             ));
         }
         rows.push(cells);
@@ -280,7 +278,9 @@ fn f1_coin_contract() {
     println!(
         "Contract: p0 and p1 are bounded away from 0 under every adversary\n\
          (Def. 2.6/2.7); honest ticket-coin frequencies follow the FM lottery\n\
-         (p0 ~ 1-(1-1/n)^n, p1 ~ (1-1/n)^n).\n"
+         (p0 ~ 1-(1-1/n)^n, p1 ~ (1-1/n)^n). b\u{304} is the mean recover-round\n\
+         decode batch size (codewords per factored elimination, via\n\
+         metrics=decode).\n"
     );
 }
 

@@ -1,9 +1,87 @@
-//! Measurement utilities for the reproduction harness.
+//! Measurement utilities for the reproduction harness: parallel
+//! Monte-Carlo trials, spec-grid sweeps, summary statistics, and Markdown
+//! table rendering — plus the `experiments` binary built on them.
 //!
-//! The `experiments` binary (see `src/bin/experiments.rs`) regenerates
-//! every table and figure of the paper; this library holds the shared
-//! plumbing: parallel Monte-Carlo trials, summary statistics, and Markdown
-//! table rendering.
+//! This page is the reference for the harness's command-line surface and
+//! for the offline-dependency story (ARCHITECTURE.md carries the same
+//! material as an appendix; the spec-line grammar itself is documented on
+//! `byzclock_core::scenario::ScenarioSpec`).
+//!
+//! # The `experiments` binary
+//!
+//! ```text
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|d2|all]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
+//! ```
+//!
+//! **Named grids.** Each name regenerates one table or figure of the
+//! paper as Markdown on stdout: `t1` (Table 1 convergence), `f1`–`f4`
+//! (the Fig. 1–4 contracts), `a1`/`a2` (the Remark 3.1/4.1 ablations),
+//! `r1` (resiliency boundary), `s1` (self-stabilization), `m1` (message
+//! complexity), `d1` (lockstep vs bounded-delay degradation), `d2`
+//! (bd-clock delay tolerance). `all` (the default) runs everything.
+//! Every cell is produced through the scenario API, so each one is a
+//! replayable one-line spec.
+//!
+//! **`spec` subcommand.** Runs each quoted scenario line through the
+//! default registry and prints one `RunReport::to_json` line per spec —
+//! the way to replay any single grid point:
+//!
+//! ```text
+//! experiments spec "clock-sync n=7 f=2 k=64 coin=ticket delay=2"
+//! ```
+//!
+//! **`--jsonl`.** Switches output to one stable-keyed JSON line per
+//! executed spec (diffable, archivable). It applies to `spec` and to the
+//! sweep-based `d1`/`d2` grids; the hand-aggregated paper tables always
+//! render Markdown, and the binary exits with an error rather than mixing
+//! formats on one stream.
+//!
+//! **Environment knobs.** `BYZCLOCK_TRIALS` scales every grid's trial
+//! count ([`trials`]); `BYZCLOCK_THREADS` caps the worker pool
+//! ([`default_threads`]); `PROPTEST_CASES` and `CRITERION_MEASURE_MS`
+//! keep the property tests and benches fast in CI.
+//!
+//! # Offline compat stubs and the swap-back path
+//!
+//! The build environment has no crates.io access, so four third-party
+//! dependencies resolve to API-compatible stand-ins under
+//! `crates/compat/`: `rand` (seedable `StdRng`-style PRNG), `bytes`
+//! (`BytesMut` encode buffers), `proptest` (strategy/`proptest!` subset),
+//! and `criterion` (timing-loop bench harness; results print as
+//! `name … time/iter`). `serde` and `parking_lot` were dropped outright
+//! (hand-rolled JSON in `RunReport::to_json`, std `Mutex` in the oracle
+//! beacon). **Swap-back:** to use the real crates, replace the four
+//! `[workspace.dependencies]` path entries in the root `Cargo.toml` with
+//! registry versions (`rand = "0.9"`, `bytes = "1"`, `proptest = "1"`,
+//! `criterion = "0.5"`) and delete `crates/compat/` — the stubs expose
+//! the same call surface the workspace uses, so no source change is
+//! expected beyond the manifests.
+//!
+//! # Example
+//!
+//! ```
+//! use byzclock::scenario::{default_registry, ScenarioSpec};
+//! use byzclock_bench::{md_table, sweep, Summary};
+//!
+//! // A two-point sweep over one thread pool, aggregated into a table.
+//! let registry = default_registry();
+//! let specs: Vec<ScenarioSpec> = (0..2)
+//!     .map(|seed| ScenarioSpec::parse("two-clock n=4 f=1 coin=oracle budget=300")
+//!         .unwrap()
+//!         .with_seed(seed))
+//!     .collect();
+//! let samples: Vec<Option<u64>> = sweep(&registry, &specs, 2)
+//!     .into_iter()
+//!     .map(|r| r.expect("registered protocol").beats_to_sync())
+//!     .collect();
+//! let summary = Summary::of(&samples);
+//! assert_eq!(summary.trials, 2);
+//! let table = md_table(&["protocol", "beats"], &[vec!["two-clock".into(), summary.cell(300)]]);
+//! assert!(table.starts_with("| protocol | beats |"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

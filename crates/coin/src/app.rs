@@ -38,6 +38,14 @@ impl<S: CoinScheme> CoinApp<S> {
     pub fn depth(&self) -> usize {
         self.coin.depth()
     }
+
+    /// The coin's [`RandSource::metrics`](byzclock_core::RandSource)
+    /// totals over retired instances (decode-batch instrumentation, used
+    /// by `metrics=decode` scenarios).
+    pub fn coin_metrics(&self) -> Vec<(&'static str, f64)> {
+        use byzclock_core::RandSource as _;
+        self.coin.metrics()
+    }
 }
 
 impl<S: CoinScheme> Application for CoinApp<S> {

@@ -26,7 +26,7 @@
 // subscripts; iterator rewrites would obscure the math.
 #![allow(clippy::needless_range_loop)]
 use crate::messages::{check_matrix, CoinMsg};
-use byzclock_field::{rs, Fp, Poly, SymmetricBivariate};
+use byzclock_field::{BatchDecoder, Fp, Poly, SymmetricBivariate};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
 use rand::Rng;
 
@@ -39,6 +39,34 @@ pub enum Grade {
     One,
     /// Accepted with certainty that every correct node accepted.
     Two,
+}
+
+/// Recover-round decode accounting for one GVSS instance.
+///
+/// All codewords routed through one shared [`BatchDecoder`] factorization
+/// count as one *batch*; in the honest case every included dealer's
+/// openers coincide, so a whole beat's `dealers × targets` decodes ride a
+/// single batch. Instrumentation only — it never influences the protocol
+/// and (like `CoinApp`'s history) survives `corrupt`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Distinct point-set factorizations built by recover rounds.
+    pub batches: u64,
+    /// Codewords decoded through those batches.
+    pub codewords: u64,
+}
+
+impl DecodeStats {
+    /// The counters as named instrumentation pairs — the shape
+    /// `RoundProtocol::metrics` reports and the scenario extras consume
+    /// (one definition, so the coin schemes can never drift apart on
+    /// key names).
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("decode_batches", self.batches as f64),
+            ("decode_codewords", self.codewords as f64),
+        ]
+    }
 }
 
 /// Per-instance GVSS state for one node: its own dealings plus its view of
@@ -62,6 +90,8 @@ pub struct GvssCore {
     grades: Vec<Grade>,
     /// `[dealer][target] -> recovered value` (None = decode failed).
     recovered: Vec<Vec<Option<u64>>>,
+    /// Recover-round decode accounting (instrumentation).
+    decode_stats: DecodeStats,
 }
 
 impl GvssCore {
@@ -79,6 +109,7 @@ impl GvssCore {
             votes: vec![vec![false; n]; n],
             grades: vec![Grade::Zero; n],
             recovered: vec![vec![None; targets]; n],
+            decode_stats: DecodeStats::default(),
         }
     }
 
@@ -110,6 +141,11 @@ impl GvssCore {
     /// recover round, or when decoding failed).
     pub fn recovered(&self, dealer: NodeId, target: usize) -> Option<u64> {
         self.recovered[dealer.index()][target]
+    }
+
+    /// This instance's recover-round decode accounting.
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.decode_stats
     }
 
     /// Round 0 send: deal my batch. `sample` draws each secret (e.g.
@@ -258,12 +294,23 @@ impl GvssCore {
         out.push((Target::All, CoinMsg::Recover { shares }));
     }
 
-    /// Round 3 receive: Berlekamp–Welch per (included dealer, target).
+    /// Round 3 receive: Berlekamp–Welch per (included dealer, target),
+    /// with every decode of the beat submitted through a [`BatchDecoder`].
+    ///
+    /// A sender opens either all of a dealer's targets or none
+    /// (`check_matrix`), so all `targets` codewords of one dealer share
+    /// one evaluation-point set — and in the honest case every dealer's
+    /// openers coincide, so the whole beat shares a single factored
+    /// elimination. Results are identical to per-codeword `rs::decode`
+    /// (pinned by proptests in `byzclock-field`); only the elimination
+    /// cost is amortized.
     pub fn recv_recover(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
         let f = self.cfg.f;
-        // points[dealer][target] -> (x, y) pairs
-        let mut points: Vec<Vec<Vec<(u64, u64)>>> = vec![vec![Vec::new(); self.targets]; n];
+        // Per dealer: the openers' share points, and one codeword (a y per
+        // opener) per target.
+        let mut xs: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut ys: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); self.targets]; n];
         for (from, msg) in inbox {
             let CoinMsg::Recover { shares } = msg else {
                 continue;
@@ -273,19 +320,40 @@ impl GvssCore {
             };
             for dealer in 0..n {
                 if let Some(vals) = &shares[dealer] {
+                    xs[dealer].push(from.share_point());
                     for (t, &v) in vals.iter().enumerate() {
-                        points[dealer][t].push((from.share_point(), self.fp.reduce(v)));
+                        ys[dealer][t].push(self.fp.reduce(v));
                     }
                 }
             }
         }
+        // One decoder per distinct point set this beat. `None` decoders
+        // (too few or duplicate openers) fail every codeword, exactly as
+        // the one-shot decode would.
+        let mut decoders: Vec<(Vec<u64>, Option<BatchDecoder>)> = Vec::new();
         for dealer in 0..n {
             if self.grades[dealer] < Grade::One {
                 continue;
             }
+            let idx = match decoders.iter().position(|(x, _)| x == &xs[dealer]) {
+                Some(idx) => idx,
+                None => {
+                    let decoder = BatchDecoder::new(&self.fp, &xs[dealer], f);
+                    // Count only factorizations that were actually built;
+                    // unusable point sets never become a batch.
+                    self.decode_stats.batches += u64::from(decoder.is_some());
+                    decoders.push((xs[dealer].clone(), decoder));
+                    decoders.len() - 1
+                }
+            };
+            let decoder = &mut decoders[idx].1;
+            let routed = decoder.is_some();
             for t in 0..self.targets {
-                self.recovered[dealer][t] =
-                    rs::decode(&self.fp, &points[dealer][t], f).map(|g| g.eval(&self.fp, 0));
+                self.recovered[dealer][t] = decoder
+                    .as_mut()
+                    .and_then(|d| d.decode_one(&ys[dealer][t]))
+                    .map(|g| g.eval(&self.fp, 0));
+                self.decode_stats.codewords += u64::from(routed);
             }
         }
     }
@@ -419,6 +487,18 @@ mod tests {
                 assert_eq!(core.grade(NodeId::new(dealer)), Grade::Two);
             }
             assert_eq!(core.included().count(), 4);
+        }
+    }
+
+    #[test]
+    fn honest_recover_rides_one_batch_per_beat() {
+        // All 7 dealers' openers coincide, so the 7 × 3 decodes of the
+        // recover round share a single factored elimination.
+        let cores = run_honest(7, 2, 3, 9);
+        for core in &cores {
+            let stats = core.decode_stats();
+            assert_eq!(stats.batches, 1, "{stats:?}");
+            assert_eq!(stats.codewords, 21, "{stats:?}");
         }
     }
 

@@ -1,6 +1,6 @@
 //! Common-coin protocols for the PODC'08 clock-synchronization stack.
 //!
-//! The paper plugs the Feldman–Micali common coin [12] into
+//! The paper plugs the Feldman–Micali common coin \[12\] into
 //! `ss-Byz-Coin-Flip`; this crate supplies a faithful-in-structure
 //! implementation (Definition 2.6's interface: constant `Δ_A`, constant
 //! `p0`/`p1`, unpredictability until the recover round, `f < n/3`):
@@ -41,7 +41,7 @@ mod ticket;
 mod xor;
 
 pub use app::{coin_stats, measure_coin, CoinApp, CoinAppMsg, CoinStats};
-pub use gvss::{Grade, GvssCore};
+pub use gvss::{DecodeStats, Grade, GvssCore};
 pub use messages::CoinMsg;
 pub use ticket::{TicketCoinProto, TicketCoinScheme, TICKET_COIN_ROUNDS};
 pub use xor::{XorCoinProto, XorCoinScheme, XOR_COIN_ROUNDS};

@@ -12,12 +12,14 @@ use crate::{
 };
 use byzclock_core::scenario::{
     builder_for, clock_adversary, delay_extras, four_clock_extras, recursive_levels, AdversarySpec,
-    ClockRun, CoinSpec, ProtocolFamily, ProtocolRegistry, ScenarioError, ScenarioRun, ScenarioSpec,
+    ClockRun, CoinSpec, MetricsSpec, ProtocolFamily, ProtocolRegistry, ScenarioError, ScenarioRun,
+    ScenarioSpec,
 };
 use byzclock_core::{
-    CoinScheme, FourClock, PipelinedCoin, RecursiveClock, SharedFourClock, TwoClock,
+    ClockSync, CoinScheme, FourClock, PipelinedCoin, RandSource, RecursiveClock, SharedFourClock,
+    TwoClock,
 };
-use byzclock_sim::{Adversary, SilentAdversary, Simulation, TrafficStats};
+use byzclock_sim::{Adversary, Application, SilentAdversary, Simulation, TrafficStats};
 
 /// Registers every family this crate provides.
 pub fn register_protocols(registry: &mut ProtocolRegistry) {
@@ -35,6 +37,43 @@ fn unsupported_coin(spec: &ScenarioSpec) -> ScenarioError {
         protocol: spec.protocol.clone(),
         coin: spec.coin.to_string(),
     }
+}
+
+/// The `metrics=decode` report extras: the GVSS recover round's
+/// decode-batch totals summed over the correct nodes' coin pipelines,
+/// plus the derived mean batch size (codewords per factored elimination).
+fn decode_extras<'a>(per_node: impl Iterator<Item = Vec<(&'a str, f64)>>) -> Vec<(String, f64)> {
+    let (mut batches, mut codewords) = (0.0, 0.0);
+    for metrics in per_node {
+        for (key, value) in metrics {
+            match key {
+                "decode_batches" => batches += value,
+                "decode_codewords" => codewords += value,
+                _ => {}
+            }
+        }
+    }
+    let mean = if batches > 0.0 {
+        codewords / batches
+    } else {
+        0.0
+    };
+    vec![
+        ("decode_batches".to_string(), batches),
+        ("decode_codewords".to_string(), codewords),
+        ("decode_mean_batch".to_string(), mean),
+    ]
+}
+
+/// [`ClockRun`] extras sampler for `clock-sync … metrics=decode`: decode
+/// batching totals across the three coin pipelines of every correct node.
+fn clock_sync_decode_extras<R, Adv>(sim: &Simulation<ClockSync<R>, Adv>) -> Vec<(String, f64)>
+where
+    R: RandSource,
+    ClockSync<R>: Application,
+    Adv: Adversary<<ClockSync<R> as Application>::Msg>,
+{
+    decode_extras(sim.correct_apps().map(|(_, app)| app.coin_metrics()))
 }
 
 /// `ss-Byz-2-Clock` over a real pipelined coin.
@@ -153,7 +192,14 @@ impl ProtocolFamily for CoinClockSyncFamily {
                 let k = spec.clock_modulus;
                 let sim = builder_for(spec)
                     .build(move |cfg, rng| ticket_clock_sync(cfg, k, rng), adversary);
-                Ok(Box::new(ClockRun::new(sim)))
+                // `metrics=decode` opts into the instrumentation sampler;
+                // the default path is byte-identical to the pinned golden
+                // reports.
+                Ok(if spec.metrics == MetricsSpec::Decode {
+                    Box::new(ClockRun::with_extras(sim, clock_sync_decode_extras))
+                } else {
+                    Box::new(ClockRun::new(sim))
+                })
             }
             _ => Err(unsupported_coin(spec)),
         }
@@ -205,6 +251,7 @@ impl ProtocolFamily for CoinStreamFamily {
     }
 
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
+        let instrument = spec.metrics == MetricsSpec::Decode;
         match spec.coin {
             CoinSpec::Ticket => {
                 let adversary = coin_adversary::<TicketCoinScheme>(spec, spec.n)?;
@@ -212,7 +259,7 @@ impl ProtocolFamily for CoinStreamFamily {
                     |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
                     adversary,
                 );
-                Ok(Box::new(CoinStreamRun { sim }))
+                Ok(Box::new(CoinStreamRun { sim, instrument }))
             }
             CoinSpec::Xor => {
                 let adversary = coin_adversary::<XorCoinScheme>(spec, 1)?;
@@ -220,7 +267,7 @@ impl ProtocolFamily for CoinStreamFamily {
                     |cfg, rng| CoinApp::new(XorCoinScheme::new(cfg), rng),
                     adversary,
                 );
-                Ok(Box::new(CoinStreamRun { sim }))
+                Ok(Box::new(CoinStreamRun { sim, instrument }))
             }
             _ => Err(unsupported_coin(spec)),
         }
@@ -258,9 +305,11 @@ where
 }
 
 /// [`ScenarioRun`] adapter for the coin stream: no clock, coin-quality
-/// metrics in the extras (warm-up `Δ_A` excluded, per Lemma 1).
+/// metrics in the extras (warm-up `Δ_A` excluded, per Lemma 1), and —
+/// under `metrics=decode` — the recover round's decode-batch totals.
 struct CoinStreamRun<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> {
     sim: Simulation<CoinApp<S>, Adv>,
+    instrument: bool,
 }
 
 impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun<S, Adv> {
@@ -293,6 +342,11 @@ impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun
             ("agreement_rate".to_string(), stats.agreement_rate()),
             ("measured_beats".to_string(), stats.beats as f64),
         ];
+        if self.instrument {
+            extras.extend(decode_extras(
+                self.sim.correct_apps().map(|(_, app)| app.coin_metrics()),
+            ));
+        }
         extras.extend(delay_extras(self.sim.timing(), self.sim.delay_histogram()));
         extras
     }
@@ -357,6 +411,47 @@ mod tests {
         let h1 = report.extra("delay_hist_1").unwrap();
         assert!(h0 > 0.0 && h1 > 0.0, "both buckets populated: {report:?}");
         assert_eq!(registry().run(&spec).unwrap(), report, "deterministic");
+    }
+
+    #[test]
+    fn metrics_decode_surfaces_batch_sizes_in_extras() {
+        // The instrumented twin of a plain spec reports the decode-batch
+        // counters — and the plain spec's report is untouched (the pinned
+        // lockstep goldens depend on that).
+        let plain = ScenarioSpec::parse(
+            "coin-stream n=4 f=1 coin=ticket adv=silent faults=none seed=11 budget=40",
+        )
+        .unwrap();
+        let instrumented = plain.clone().with_metrics(MetricsSpec::Decode);
+        let registry = registry();
+        let base = registry.run(&plain).unwrap();
+        assert!(base.extra("decode_batches").is_none(), "{base:?}");
+        let report = registry.run(&instrumented).unwrap();
+        let batches = report.extra("decode_batches").unwrap();
+        let codewords = report.extra("decode_codewords").unwrap();
+        assert!(batches > 0.0 && codewords > 0.0, "{report:?}");
+        // Every silent-adversary recover round rides one batch per node
+        // per beat, n targets each (n = 4 dealers x 4 correct... the exact
+        // ratio: codewords / batches = dealers x targets per point set).
+        let mean = report.extra("decode_mean_batch").unwrap();
+        assert!(mean >= 4.0, "honest batches span all dealers: {report:?}");
+        // Instrumentation never disturbs the run itself.
+        assert_eq!(report.extra("p0"), base.extra("p0"));
+        assert_eq!(report.traffic, base.traffic);
+        assert_eq!(report.beats, base.beats);
+    }
+
+    #[test]
+    fn metrics_decode_reaches_the_ticket_clock_sync() {
+        let spec = ScenarioSpec::parse(
+            "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start seed=2 \
+             budget=3000 metrics=decode",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert!(report.converged_at.is_some(), "{report:?}");
+        assert!(report.extra("decode_batches").unwrap() > 0.0, "{report:?}");
+        assert!(report.extra("decode_mean_batch").unwrap() >= 1.0);
     }
 
     #[test]

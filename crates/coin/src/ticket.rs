@@ -96,6 +96,10 @@ impl RoundProtocol for TicketCoinProto {
         self.gvss.corrupt(rng);
         self.output = rng.random();
     }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        self.gvss.decode_stats().metrics()
+    }
 }
 
 /// Factory for [`TicketCoinProto`] instances (`Δ_A = 4`).

@@ -78,6 +78,10 @@ impl RoundProtocol for XorCoinProto {
         self.gvss.corrupt(rng);
         self.output = rng.random();
     }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        self.gvss.decode_stats().metrics()
+    }
 }
 
 /// Factory for [`XorCoinProto`] instances.

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! The workspace only uses `BytesMut` as an append-only encode buffer for
-//! [`Wire`-style] message-size accounting, so this vendored subset is a
+//! `Wire`-style message-size accounting, so this vendored subset is a
 //! thin wrapper over `Vec<u8>` exposing the `BufMut` put-methods the
 //! encoders call. Swap back to crates.io `bytes` by deleting
 //! `crates/compat/bytes` and repointing the manifests.

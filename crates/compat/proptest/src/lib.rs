@@ -212,7 +212,7 @@ impl_tuple_strategy!(A, B, C, D, E);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: an exact `usize`, `a..b`, or
+    /// Length specification for [`vec()`]: an exact `usize`, `a..b`, or
     /// `a..=b`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -257,7 +257,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         sizes: SizeRange,

@@ -134,6 +134,15 @@ impl<R: RandSource> ClockSync<R> {
         &self.four
     }
 
+    /// [`RandSource::metrics`] summed over this clock's three coin
+    /// pipelines (`A1`, `A2`, top level) — how scenario adapters surface
+    /// coin instrumentation (decode batch counts) in report extras.
+    pub fn coin_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut metrics = self.four.coin_metrics();
+        crate::merge_metrics(&mut metrics, self.rand_source.metrics());
+        metrics
+    }
+
     /// Overwrites the full clock (test/bench setup).
     pub fn set_full_clock(&mut self, v: u64) {
         self.full_clock = v % self.k;

@@ -108,6 +108,13 @@ impl<R: RandSource> FourClock<R> {
         &self.a2
     }
 
+    /// [`RandSource::metrics`] summed over both sub-clocks' coins.
+    pub fn coin_metrics(&self) -> Vec<(&'static str, f64)> {
+        let mut metrics = self.a1.coin_metrics();
+        crate::merge_metrics(&mut metrics, self.a2.coin_metrics());
+        metrics
+    }
+
     /// Instrumentation: fraction of beats in which `A2` executed
     /// (converges to 1/2 after `A1` stabilizes — checked by experiment F3).
     pub fn a2_step_ratio(&self) -> f64 {

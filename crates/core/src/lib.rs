@@ -62,6 +62,6 @@ pub use four_clock::{FourClock, FourClockMsg, SharedFourClock, SharedFourClockMs
 pub use pipeline::{Pipeline, SlotMsg};
 pub use rand_source::{LocalRand, OracleBeacon, OracleDraw, OracleRand, PipelinedCoin, RandSource};
 pub use recursive::{LevelMsg, RecursiveClock};
-pub use round::{CoinScheme, RoundProtocol};
+pub use round::{merge_metrics, CoinScheme, RoundProtocol};
 pub use trit::{dedup_by_sender, majority_literal, majority_with_rand, MajorityCount, Trit};
 pub use two_clock::{BrokenTwoClock, TwoClock, TwoClockCore, TwoClockMsg};

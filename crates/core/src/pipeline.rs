@@ -61,6 +61,11 @@ impl<M: Wire> Wire for SlotMsg<M> {
 pub struct Pipeline<P> {
     /// `slots[i]` executes round `i` this beat; `slots.len() == Δ`.
     slots: VecDeque<P>,
+    /// [`RoundProtocol::metrics`] summed over every retired instance,
+    /// keyed in first-seen order. Instrumentation: survives `corrupt`
+    /// (like the traffic stats, it observes the run rather than being
+    /// protocol state).
+    retired_metrics: Vec<(&'static str, f64)>,
 }
 
 impl<P: RoundProtocol> Pipeline<P> {
@@ -75,6 +80,7 @@ impl<P: RoundProtocol> Pipeline<P> {
         assert!(rounds <= 255, "slot tags are u8");
         Pipeline {
             slots: (0..rounds).map(|_| spawn()).collect(),
+            retired_metrics: Vec::new(),
         }
     }
 
@@ -135,9 +141,16 @@ impl<P: RoundProtocol> Pipeline<P> {
             inst.recv_round(i, &per_slot[i], rng);
         }
         let finished = self.slots.pop_back().expect("pipeline is never empty");
+        crate::round::merge_metrics(&mut self.retired_metrics, finished.metrics());
         let output = finished.output();
         self.slots.push_front(spawn(rng, &output));
         output
+    }
+
+    /// [`RoundProtocol::metrics`] summed over every instance this pipeline
+    /// has retired, in first-seen key order.
+    pub fn retired_metrics(&self) -> &[(&'static str, f64)] {
+        &self.retired_metrics
     }
 
     /// Transient fault: scramble every slot's instance state. The pipeline
@@ -276,6 +289,29 @@ mod tests {
             let expected: Vec<usize> = (0..i).collect();
             assert_eq!(p.slot(i).sent_rounds(), &expected[..]);
         }
+    }
+
+    #[test]
+    fn retired_metrics_accumulate_across_instances() {
+        let scheme = XorTestScheme {
+            rounds: 2,
+            quorum: 1,
+        };
+        let mut rng = rng();
+        let mut p = pipeline(&scheme, &mut rng);
+        assert!(p.retired_metrics().is_empty());
+        for _ in 0..3 {
+            let mut out = Vec::new();
+            p.send(&mut rng, &mut out);
+            p.deliver(&[], &mut rng, |r, _| scheme.spawn(r));
+        }
+        // Three retirees, each having sent: 2 rounds (a boot instance that
+        // pre-dated beat 1 sends only its slot-1 round), so 1 + 2 + 2.
+        let metrics = p.retired_metrics().to_vec();
+        assert_eq!(
+            metrics,
+            vec![("xor_instances", 3.0), ("xor_sent_rounds", 5.0)]
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   `c2 · c1²` convergence law of Theorem 2;
 //! - [`LocalRand`] — independent per-node coins, i.e. `p0 = p1 = 2^-(g-1)`
 //!   over `g` correct nodes: plugging it into Fig. 2 reproduces the
-//!   Dolev–Welch-style expected-exponential baseline ([10] in Table 1).
+//!   Dolev–Welch-style expected-exponential baseline (\[10\] in Table 1).
 
 use crate::pipeline::{Pipeline, SlotMsg};
 use crate::round::{CoinScheme, RoundProtocol};
@@ -38,6 +38,14 @@ pub trait RandSource {
 
     /// Transient fault: scramble all coin state.
     fn corrupt(&mut self, rng: &mut SimRng);
+
+    /// Instrumentation counters accumulated by the source — the pipelined
+    /// coin reports its retired instances' [`RoundProtocol::metrics`]
+    /// totals here (decode batch counts, …). Observational only; oracles
+    /// and local coins have none.
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -81,6 +89,10 @@ impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.pipeline.corrupt(rng);
     }
+
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        self.pipeline.retired_metrics().to_vec()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -90,7 +102,7 @@ impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
 /// Independent per-node randomness — no communication, no commonality
 /// beyond luck. With `g` correct nodes, all agree on a bit with probability
 /// `2^-(g-1)`, which is what turns Fig. 2 into an expected-exponential
-/// protocol (Table 1, row [10]).
+/// protocol (Table 1, row \[10\]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalRand;
 

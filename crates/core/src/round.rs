@@ -54,6 +54,29 @@ pub trait RoundProtocol {
 
     /// Transient fault: scramble all instance state.
     fn corrupt(&mut self, rng: &mut SimRng);
+
+    /// Named instrumentation counters of this instance, sampled when the
+    /// driver retires it (e.g. the GVSS coin's recover-round decode batch
+    /// sizes). Purely observational — drivers sum them across retired
+    /// instances ([`crate::Pipeline::retired_metrics`]) and scenarios can
+    /// surface the totals in report extras; protocol behavior must never
+    /// read them. The default is no metrics.
+    fn metrics(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+}
+
+/// Sums `from` into `into`, matching by key (first-seen order preserved) —
+/// the one merge rule for instrumentation counters, shared by the pipeline
+/// (summing retired instances) and the clock adapters (summing several
+/// coin pipelines into one report).
+pub fn merge_metrics(into: &mut Vec<(&'static str, f64)>, from: Vec<(&'static str, f64)>) {
+    for (key, value) in from {
+        match into.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, acc)) => *acc += value,
+            None => into.push((key, value)),
+        }
+    }
 }
 
 /// A factory for [`RoundProtocol`] instances of a common-coin protocol `A`
@@ -122,6 +145,13 @@ pub(crate) mod testutil {
             use rand::Rng;
             self.my_bit = rng.random();
             self.acc = rng.random();
+        }
+
+        fn metrics(&self) -> Vec<(&'static str, f64)> {
+            vec![
+                ("xor_instances", 1.0),
+                ("xor_sent_rounds", self.sent_rounds.len() as f64),
+            ]
         }
     }
 

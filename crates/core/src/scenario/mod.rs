@@ -41,7 +41,7 @@ pub use run::{
     delay_extras, drive, drive_exact, ClockRun, RunReport, ScenarioRun, TrafficSummary,
     DEFAULT_SYNC_WINDOW,
 };
-pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, ScenarioSpec};
+pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ScenarioSpec};
 
 // The spec's `delay=` knob resolves to this sim-layer model; re-exported
 // so scenario-level callers need not depend on `byzclock-sim` directly.

@@ -143,6 +143,47 @@ impl std::str::FromStr for CoinSpec {
     }
 }
 
+/// Optional instrumentation attached to a run's report extras.
+///
+/// Default `None` keeps every report byte-identical to the
+/// pre-instrumentation era (the lockstep golden reports pin this);
+/// `Decode` asks coin-backed scenarios to append the GVSS recover-round
+/// decode counters (`decode_batches`, `decode_codewords`,
+/// `decode_mean_batch`) accumulated by the batched Berlekamp–Welch path.
+/// Families without the relevant machinery ignore the knob, exactly like
+/// the fixed-modulus clocks ignore `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsSpec {
+    /// No extra instrumentation (the default; omitted from spec lines).
+    #[default]
+    None,
+    /// Report the coin's decode-batch counters in the extras.
+    Decode,
+}
+
+impl fmt::Display for MetricsSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsSpec::None => write!(f, "none"),
+            MetricsSpec::Decode => write!(f, "decode"),
+        }
+    }
+}
+
+impl std::str::FromStr for MetricsSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "none" => Ok(MetricsSpec::None),
+            "decode" => Ok(MetricsSpec::Decode),
+            _ => Err(ScenarioError::Parse(format!(
+                "unknown metrics spec `{s}` (valid: none, decode)"
+            ))),
+        }
+    }
+}
+
 /// Which Byzantine strategy drives the faulty nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdversarySpec {
@@ -407,6 +448,10 @@ pub struct ScenarioSpec {
     /// or fewer real faults than the budget, or make a specific node — a
     /// queen, a dealer — the traitor.
     pub byzantine: Option<Vec<u16>>,
+    /// Optional instrumentation surfaced in the report extras
+    /// (`metrics=decode`; default none, omitted from spec lines so
+    /// historical lines and reports are unchanged).
+    pub metrics: MetricsSpec,
     /// Master seed; every random stream in the run derives from it.
     pub seed: u64,
     /// Maximum beats to execute before giving up on convergence.
@@ -427,6 +472,7 @@ impl ScenarioSpec {
             fault_plan: FaultPlanSpec::corrupt_start(),
             delay: 0,
             byzantine: None,
+            metrics: MetricsSpec::None,
             seed: 0,
             beat_budget: 5_000,
         }
@@ -475,6 +521,12 @@ impl ScenarioSpec {
     /// Overrides which nodes are actually Byzantine.
     pub fn with_byzantine(mut self, ids: impl IntoIterator<Item = u16>) -> Self {
         self.byzantine = Some(ids.into_iter().collect());
+        self
+    }
+
+    /// Requests extra instrumentation in the report extras.
+    pub fn with_metrics(mut self, metrics: MetricsSpec) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -535,8 +587,8 @@ impl ScenarioSpec {
     /// The keys [`ScenarioSpec::parse`] understands, in canonical order —
     /// kept next to the `match` below so diagnostics never drift from the
     /// parser.
-    pub const KEYS: [&'static str; 10] = [
-        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "seed", "budget",
+    pub const KEYS: [&'static str; 11] = [
+        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "metrics", "seed", "budget",
     ];
 
     /// Parses the single-line form (see the type-level example).
@@ -585,6 +637,7 @@ impl ScenarioSpec {
                             .collect::<Result<Vec<_>, _>>()?,
                     )
                 }
+                "metrics" => spec.metrics = value.parse()?,
                 "seed" => spec.seed = num(value)?,
                 "budget" => spec.beat_budget = num(value)?,
                 _ => {
@@ -628,6 +681,11 @@ impl fmt::Display for ScenarioSpec {
                 " byz={}",
                 byz.iter().map(u16::to_string).collect::<Vec<_>>().join(",")
             )?;
+        }
+        if self.metrics != MetricsSpec::None {
+            // Like `delay`, the key appears only when set, so historical
+            // spec lines (and the reports that echo them) are unchanged.
+            write!(f, " metrics={}", self.metrics)?;
         }
         write!(f, " seed={} budget={}", self.seed, self.beat_budget)
     }
@@ -720,6 +778,75 @@ mod tests {
         assert!(ScenarioSpec::parse("two-clock n=4 coin=oracle:800,800").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 byz=9").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 faults=meteor@3").is_err());
+    }
+
+    #[test]
+    fn metrics_knob_round_trips_and_defaults_off() {
+        let spec = ScenarioSpec::new("clock-sync", 4, 1);
+        assert_eq!(spec.metrics, MetricsSpec::None);
+        assert!(!spec.to_string().contains("metrics="));
+        let on = spec.with_metrics(MetricsSpec::Decode);
+        let line = on.to_string();
+        assert!(line.contains(" metrics=decode "), "{line}");
+        assert_eq!(ScenarioSpec::parse(&line).unwrap(), on);
+        assert!(ScenarioSpec::parse("two-clock n=4 metrics=bogus").is_err());
+    }
+
+    #[test]
+    fn documented_spec_lines_parse_and_round_trip() {
+        // The exact one-line grammar examples shown in ROADMAP.md,
+        // README.md/ARCHITECTURE.md, the type-level rustdoc above, the
+        // experiments binary's usage text, and the CI smoke steps. A
+        // failure here means the documentation has drifted from the
+        // parser.
+        let documented = [
+            // ROADMAP.md scenario-API section / type-level rustdoc example
+            "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start seed=3 \
+             budget=3000",
+            // experiments usage text
+            "clock-sync n=7 f=2 k=64 coin=ticket delay=2",
+            // CI smoke lines
+            "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start seed=1 \
+             budget=2000",
+            "two-clock n=7 f=2 coin=oracle adv=split-vote faults=corrupt-start seed=1 \
+             budget=2000",
+            "clock-sync n=7 f=2 k=8 coin=oracle adv=silent faults=corrupt-start delay=2 seed=1 \
+             budget=500",
+            "bd-clock n=7 f=2 k=8 coin=oracle adv=silent faults=corrupt-start delay=2 seed=1 \
+             budget=3000",
+            // ROADMAP.md bd-clock registration line / ARCHITECTURE.md grammar
+            "bd-clock n=7 f=2 k=8 coin=oracle delay=2",
+            // ARCHITECTURE.md instrumentation example
+            "coin-stream n=7 f=2 coin=ticket faults=none metrics=decode budget=40",
+        ];
+        for line in documented {
+            let spec = ScenarioSpec::parse(line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+            let rendered = spec.to_string();
+            assert_eq!(
+                ScenarioSpec::parse(&rendered).unwrap(),
+                spec,
+                "`{line}` -> `{rendered}`"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_match_the_rendered_grammar_exactly() {
+        // A spec with every optional field set renders every key in KEYS,
+        // in KEYS order, and nothing else — so the parser diagnostics, the
+        // documented grammar, and Display can never disagree.
+        let spec = ScenarioSpec::new("clock-sync", 7, 2)
+            .with_modulus(64)
+            .with_delay(2)
+            .with_byzantine([0, 3])
+            .with_metrics(MetricsSpec::Decode);
+        let line = spec.to_string();
+        let rendered: Vec<&str> = line
+            .split_whitespace()
+            .skip(1) // protocol name
+            .map(|tok| tok.split_once('=').expect("key=value token").0)
+            .collect();
+        assert_eq!(rendered, ScenarioSpec::KEYS);
     }
 
     #[test]

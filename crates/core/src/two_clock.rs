@@ -177,6 +177,11 @@ impl<R: RandSource> TwoClock<R> {
         self.last_rand
     }
 
+    /// The coin's [`RandSource::metrics`] (instrumentation pass-through).
+    pub fn coin_metrics(&self) -> Vec<(&'static str, f64)> {
+        self.rand_source.metrics()
+    }
+
     /// One beat's send half: line 1 plus the coin's sends.
     pub fn step_send(&mut self, rng: &mut SimRng, out: &mut Vec<(Target, TwoClockMsg<R::Msg>)>) {
         out.push((Target::All, TwoClockMsg::Clock(self.core.vote())));
@@ -445,7 +450,7 @@ mod tests {
     }
 
     /// The local-coin variant still converges for small clusters — just
-    /// slower in expectation (it is the [10]-style baseline).
+    /// slower in expectation (it is the \[10\]-style baseline).
     #[test]
     fn local_rand_converges_eventually_small_n() {
         let mut sim = SimBuilder::new(4, 1)

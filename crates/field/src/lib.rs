@@ -12,9 +12,13 @@
 //!   arithmetic, division),
 //! - [`SymmetricBivariate`]: symmetric bivariate polynomials used by the
 //!   graded VSS dealing phase,
-//! - [`linalg`]: Gaussian elimination over `F_p`,
+//! - [`linalg`]: Gaussian elimination over `F_p`, including the
+//!   column-incremental [`linalg::Eliminator`] behind the decode hot path,
 //! - [`rs`]: Reed–Solomon decoding via the Berlekamp–Welch algorithm, which
-//!   lets the coin's recover round tolerate up to `f` corrupted shares.
+//!   lets the coin's recover round tolerate up to `f` corrupted shares —
+//!   one-shot ([`rs::decode`]) or amortized over every codeword sharing an
+//!   evaluation-point set ([`BatchDecoder`], the per-beat GVSS recover
+//!   shape).
 //!
 //! # Example
 //!
@@ -51,3 +55,4 @@ pub use error::FieldError;
 pub use fp::{Fp, FpElem};
 pub use poly::Poly;
 pub use primes::{is_prime, smallest_prime_above};
+pub use rs::BatchDecoder;

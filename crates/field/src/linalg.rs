@@ -2,7 +2,39 @@
 //!
 //! Used by the Berlekamp–Welch decoder to solve the key equation. Systems
 //! here are tiny (a handful of unknowns per dealing), so a dense
-//! row-reduction is the clear choice.
+//! row-reduction is the clear choice. Two entry points serve two shapes
+//! of work:
+//!
+//! - [`solve`] / [`solve_in_place`] — classic one-shot Gauss–Jordan on an
+//!   inhomogeneous system `A x = b` — the crate's general-purpose linear
+//!   solver. The decoder itself no longer calls it.
+//! - [`Eliminator`] — a *column-incremental* Gauss–Jordan for homogeneous
+//!   systems, the decode hot path, built for the decoder's two
+//!   amortization patterns:
+//!
+//!   **Replay (batching).** Every row operation performed while a column
+//!   is reduced is recorded ([`Eliminator::push_col`]). A column pushed
+//!   later is brought up to date by replaying the recorded operations
+//!   against it alone — cost `O(ops)` — instead of re-eliminating the
+//!   whole matrix. The Berlekamp–Welch key equation for a batch of
+//!   codewords over one evaluation-point set shares its entire Vandermonde
+//!   block: [`crate::BatchDecoder`] pushes that block once (an LU-style
+//!   shared factorization), then per codeword pushes only the few
+//!   `y`-dependent error-locator columns, reads a kernel vector, and
+//!   rewinds to the shared prefix with [`Eliminator::mark`] /
+//!   [`Eliminator::reset`].
+//!
+//!   **Extension (the error-budget ladder).** Growing the presumed error
+//!   count `e` by one adds two columns to the key equation and changes
+//!   nothing else. [`crate::rs::decode_with_errors`] therefore keeps one
+//!   `Eliminator` alive across its whole ladder and extends the previous
+//!   elimination by the new columns instead of re-solving from scratch at
+//!   each error count.
+//!
+//! Every recorded operation reads from a row at or below the elimination
+//! front of its time, where every previously *free* (pivotless) column is
+//! zero by construction — so stored columns never need updating, and
+//! replaying the log against new columns is the entire cost of growth.
 
 // Indexed loops in this file mirror the paper's matrix/polynomial
 // subscripts; iterator rewrites would obscure the math.
@@ -124,6 +156,237 @@ pub fn solve_or_err(
     solve(fp, a, b, unknowns).ok_or(FieldError::Inconsistent)
 }
 
+/// One recorded elementary row operation of an [`Eliminator`].
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Swap rows `a` and `b` (both at or below the elimination front).
+    Swap { a: u32, b: u32 },
+    /// Multiply row `row` (the front) by `factor`.
+    Scale { row: u32, factor: FpElem },
+    /// `row[dst] -= factor * row[src]` (`src` is the front's pivot row).
+    AddMul { dst: u32, src: u32, factor: FpElem },
+}
+
+/// Reduced state of one column pushed into an [`Eliminator`].
+#[derive(Debug, Clone)]
+enum ColState {
+    /// The column carries the pivot of `row`. In reduced form it is the
+    /// unit vector `e_row`, so nothing needs storing.
+    Pivot { row: usize },
+    /// No pivot was available at or below the front when the column was
+    /// pushed; its reduced entries are kept (zero at the front and below,
+    /// by construction, and frozen thereafter).
+    Free(Vec<FpElem>),
+}
+
+/// A rewind point returned by [`Eliminator::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct EliminatorMark {
+    ops: usize,
+    cols: usize,
+    rank: usize,
+}
+
+/// Column-incremental Gauss–Jordan elimination of a homogeneous system
+/// over `F_p`, with an operation log that lets new columns join an
+/// existing elimination at replay cost (see the module docs for why the
+/// Berlekamp–Welch decoder wants exactly this shape).
+///
+/// Columns are pushed one at a time; the matrix is always in reduced
+/// row-echelon form over the columns pushed so far. [`kernel_vector`]
+/// reads off a nonzero kernel vector whenever a free column exists, and
+/// [`mark`] / [`reset`] rewind to a shared prefix so one factored prefix
+/// serves many suffixes (the batch-decoding pattern).
+///
+/// [`kernel_vector`]: Eliminator::kernel_vector
+/// [`mark`]: Eliminator::mark
+/// [`reset`]: Eliminator::reset
+///
+/// # Example
+///
+/// ```
+/// use byzclock_field::{linalg::Eliminator, Fp};
+///
+/// # fn main() -> Result<(), byzclock_field::FieldError> {
+/// let fp = Fp::new(11)?;
+/// // Columns of [[1, 2, 3], [0, 1, 1]]: the third equals the first plus
+/// // the second, so it is free and yields a kernel vector.
+/// let mut el = Eliminator::new(2);
+/// assert!(el.push_col(&fp, vec![1, 0]));
+/// assert!(el.push_col(&fp, vec![2, 1]));
+/// assert!(!el.push_col(&fp, vec![3, 1]));
+/// // v = (-1, -1, 1): 1*(-1) + 2*(-1) + 3*1 = 0 and 0 + 1*(-1) + 1 = 0.
+/// assert_eq!(el.kernel_vector(&fp), Some(vec![10, 10, 1]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Eliminator {
+    rows: usize,
+    /// Rows `0..rank` hold pivots; the elimination front is row `rank`.
+    rank: usize,
+    ops: Vec<Op>,
+    cols: Vec<ColState>,
+}
+
+impl Eliminator {
+    /// An empty elimination over `rows` equations.
+    pub fn new(rows: usize) -> Self {
+        Eliminator {
+            rows,
+            rank: 0,
+            ops: Vec::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Number of equations (matrix rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rank of the columns pushed so far.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of columns pushed so far.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Pushes the next column of the matrix and reduces it: the recorded
+    /// operation log is replayed against it, then — if it has a nonzero
+    /// entry at or below the front — it becomes the next pivot column and
+    /// the row operations that clear it are recorded.
+    ///
+    /// Returns `true` if the column became a pivot, `false` if it is free
+    /// (a free column witnesses a kernel vector; see
+    /// [`Eliminator::kernel_vector`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len()` differs from [`Eliminator::rows`]. Entries
+    /// must be canonical field elements.
+    pub fn push_col(&mut self, fp: &Fp, mut col: Vec<FpElem>) -> bool {
+        assert_eq!(col.len(), self.rows, "column height mismatch");
+        // Bring the new column up to date with the elimination so far.
+        for &op in &self.ops {
+            match op {
+                Op::Swap { a, b } => col.swap(a as usize, b as usize),
+                Op::Scale { row, factor } => {
+                    let row = row as usize;
+                    col[row] = fp.mul(col[row], factor);
+                }
+                Op::AddMul { dst, src, factor } => {
+                    let delta = fp.mul(factor, col[src as usize]);
+                    let dst = dst as usize;
+                    col[dst] = fp.sub(col[dst], delta);
+                }
+            }
+        }
+        let Some(pr) = (self.rank..self.rows).find(|&r| col[r] != 0) else {
+            self.cols.push(ColState::Free(col));
+            return false;
+        };
+        let pivot = self.rank;
+        if pr != pivot {
+            self.ops.push(Op::Swap {
+                a: pivot as u32,
+                b: pr as u32,
+            });
+            col.swap(pivot, pr);
+        }
+        let inv = fp
+            .inv(col[pivot])
+            .expect("pivot is nonzero by construction");
+        if inv != 1 {
+            self.ops.push(Op::Scale {
+                row: pivot as u32,
+                factor: inv,
+            });
+        }
+        col[pivot] = 1;
+        for r in 0..self.rows {
+            if r != pivot && col[r] != 0 {
+                self.ops.push(Op::AddMul {
+                    dst: r as u32,
+                    src: pivot as u32,
+                    factor: col[r],
+                });
+                col[r] = 0;
+            }
+        }
+        // Stored free columns are untouched by the new operations: every
+        // one of them is zero on all rows the operations read from
+        // (rows >= the front at the time the free column was pushed).
+        self.cols.push(ColState::Pivot { row: pivot });
+        self.rank += 1;
+        true
+    }
+
+    /// A nonzero kernel vector of the matrix pushed so far, or `None` if
+    /// the columns are linearly independent.
+    ///
+    /// The vector is deterministic: the *first* free column's variable is
+    /// set to 1, every other free variable to 0, and each pivot variable
+    /// to the negated entry of that free column at its pivot row.
+    pub fn kernel_vector(&self, fp: &Fp) -> Option<Vec<FpElem>> {
+        let free_idx = self
+            .cols
+            .iter()
+            .position(|c| matches!(c, ColState::Free(_)))?;
+        let ColState::Free(free) = &self.cols[free_idx] else {
+            unreachable!("position() just matched a free column");
+        };
+        let mut x = vec![0; self.cols.len()];
+        x[free_idx] = 1;
+        for (ci, state) in self.cols.iter().enumerate() {
+            if let ColState::Pivot { row } = state {
+                x[ci] = fp.neg(free[*row]);
+            }
+        }
+        Some(x)
+    }
+
+    /// A rewind point capturing the current elimination state. Pushing
+    /// further columns and then calling [`Eliminator::reset`] with the
+    /// mark restores this exact state — the batch-decoding pattern: factor
+    /// a shared column prefix once, then push/rewind per-codeword suffix
+    /// columns.
+    pub fn mark(&self) -> EliminatorMark {
+        EliminatorMark {
+            ops: self.ops.len(),
+            cols: self.cols.len(),
+            rank: self.rank,
+        }
+    }
+
+    /// Rewinds to a state captured by [`Eliminator::mark`].
+    ///
+    /// Sound because columns pushed after the mark only *append* to the
+    /// operation log and column list; columns from before the mark are
+    /// never mutated by later pushes (see [`Eliminator::push_col`]).
+    ///
+    /// A mark is only meaningful with the `Eliminator` that produced it
+    /// (the caller's contract — marks carry no owner identity, so a
+    /// foreign mark whose counters happen to fit is *not* detected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mark describes a state larger than the current one
+    /// (a mark taken after the columns it claims were reset away).
+    pub fn reset(&mut self, mark: EliminatorMark) {
+        assert!(
+            mark.ops <= self.ops.len() && mark.cols <= self.cols.len() && mark.rank <= self.rank,
+            "mark describes a state this elimination has already rewound past"
+        );
+        self.ops.truncate(mark.ops);
+        self.cols.truncate(mark.cols);
+        self.rank = mark.rank;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +444,123 @@ mod tests {
         let fp = Fp::new(11).unwrap();
         let sol = solve(&fp, vec![], vec![], 3).unwrap();
         assert_eq!(sol, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn eliminator_full_rank_has_no_kernel() {
+        let fp = Fp::new(11).unwrap();
+        let mut el = Eliminator::new(3);
+        assert!(el.push_col(&fp, vec![1, 2, 3]));
+        assert!(el.push_col(&fp, vec![0, 1, 4]));
+        assert!(el.push_col(&fp, vec![5, 0, 2]));
+        assert_eq!(el.rank(), 3);
+        assert_eq!(el.kernel_vector(&fp), None);
+    }
+
+    #[test]
+    fn eliminator_zero_column_is_free() {
+        let fp = Fp::new(11).unwrap();
+        let mut el = Eliminator::new(2);
+        assert!(!el.push_col(&fp, vec![0, 0]));
+        assert_eq!(el.kernel_vector(&fp), Some(vec![1]));
+        // A later pivot must not disturb the earlier free column's kernel.
+        assert!(el.push_col(&fp, vec![1, 1]));
+        assert_eq!(el.kernel_vector(&fp), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn eliminator_mark_reset_restores_prefix() {
+        let fp = Fp::new(11).unwrap();
+        let mut el = Eliminator::new(3);
+        el.push_col(&fp, vec![2, 1, 7]);
+        el.push_col(&fp, vec![1, 1, 1]);
+        let mark = el.mark();
+        let before = (el.rank(), el.num_cols());
+        // Two different suffixes over the same prefix.
+        el.push_col(&fp, vec![3, 2, 8]); // = col0 + col1: free
+        let k1 = el.kernel_vector(&fp);
+        el.reset(mark);
+        assert_eq!((el.rank(), el.num_cols()), before);
+        el.push_col(&fp, vec![0, 0, 5]);
+        let k2 = el.kernel_vector(&fp);
+        el.reset(mark);
+        // Replaying the first suffix reproduces the first answer exactly.
+        el.push_col(&fp, vec![3, 2, 8]);
+        assert_eq!(el.kernel_vector(&fp), k1);
+        assert_ne!(k1, k2);
+    }
+
+    /// `A v = 0` checked literally for a kernel vector over the original
+    /// (pre-elimination) columns.
+    fn assert_in_kernel(fp: &Fp, cols: &[Vec<u64>], v: &[u64]) {
+        let rows = cols[0].len();
+        for r in 0..rows {
+            let mut acc = 0;
+            for (c, col) in cols.iter().enumerate() {
+                acc = fp.add(acc, fp.mul(col[r], v[c]));
+            }
+            assert_eq!(acc, 0, "row {r} not annihilated");
+        }
+    }
+
+    proptest! {
+        /// Push random columns; whenever a kernel vector is offered it
+        /// must annihilate every original column, and the reported rank
+        /// must match a from-scratch elimination of the same matrix.
+        #[test]
+        fn eliminator_kernel_vectors_are_kernel_vectors(
+            seed in 0u64..400,
+            rows in 1usize..6,
+            ncols in 1usize..8,
+        ) {
+            let fp = Fp::new(101).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cols: Vec<Vec<u64>> = (0..ncols)
+                .map(|_| (0..rows).map(|_| rng.random_range(0..101)).collect())
+                .collect();
+            let mut el = Eliminator::new(rows);
+            let mut pivots = 0;
+            for col in &cols {
+                if el.push_col(&fp, col.clone()) {
+                    pivots += 1;
+                }
+            }
+            prop_assert_eq!(el.rank(), pivots);
+            match el.kernel_vector(&fp) {
+                Some(v) => {
+                    prop_assert!(v.iter().any(|&x| x != 0));
+                    assert_in_kernel(&fp, &cols, &v);
+                }
+                None => prop_assert_eq!(pivots, ncols, "independent columns only"),
+            }
+        }
+
+        /// mark/reset round-trips under random suffix churn: after any
+        /// number of push/reset cycles the prefix answers are unchanged.
+        #[test]
+        fn eliminator_reset_is_exact(seed in 0u64..200, rows in 2usize..6) {
+            let fp = Fp::new(101).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prefix: Vec<Vec<u64>> = (0..rows - 1)
+                .map(|_| (0..rows).map(|_| rng.random_range(0..101)).collect())
+                .collect();
+            let mut el = Eliminator::new(rows);
+            for col in &prefix {
+                el.push_col(&fp, col.clone());
+            }
+            let mark = el.mark();
+            let suffix: Vec<u64> = (0..rows).map(|_| rng.random_range(0..101)).collect();
+            el.push_col(&fp, suffix.clone());
+            let first = el.kernel_vector(&fp);
+            for _ in 0..3 {
+                el.reset(mark);
+                // Unrelated churn between the runs we compare.
+                el.push_col(&fp, (0..rows).map(|_| rng.random_range(0..101)).collect());
+                el.reset(mark);
+                el.push_col(&fp, suffix.clone());
+                prop_assert_eq!(el.kernel_vector(&fp).clone(), first.clone());
+            }
+        }
     }
 
     proptest! {

@@ -6,7 +6,7 @@ use crate::{FieldError, Fp, FpElem};
 /// constant term upward (`coeffs[i]` multiplies `x^i`).
 ///
 /// The zero polynomial is represented by an empty coefficient vector;
-/// [`Poly::normalize`] strips trailing zero coefficients so `degree` is
+/// `normalize` strips trailing zero coefficients so `degree` is
 /// meaningful.
 ///
 /// # Example

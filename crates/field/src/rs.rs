@@ -7,11 +7,52 @@
 //! `points ≥ degree + 2·errors + 1`. Decoding is therefore *binding*: every
 //! correct node reconstructs the same polynomial no matter which `≤ f`
 //! shares the adversary falsifies — even with recover-round rushing.
+//!
+//! # The batched/incremental elimination
+//!
+//! This is the hottest kernel in the repo (`benches/field.rs` measures it;
+//! experiment M1 shows the ticket-coin stack dominating bytes/beat), so the
+//! decode path is built around amortizing its Gaussian elimination:
+//!
+//! - The key equation is solved in *homogeneous* form — find a nonzero
+//!   `(Q, E)` with `Q(x_i) = y_i · E(x_i)`, `deg Q ≤ degree + e`,
+//!   `deg E ≤ e` — as a growing column set in a
+//!   [`linalg::Eliminator`](crate::linalg::Eliminator). Any nonzero
+//!   solution over distinct `x`s has `E ≢ 0` (else `Q` would vanish at
+//!   more points than its degree allows), and whenever the view is within
+//!   `e` errors of a codeword, *every* nonzero solution satisfies
+//!   `Q = P·E` exactly — so a candidate read off any kernel vector, then
+//!   checked against the view, is as good as the textbook monic-`E`
+//!   solve.
+//! - **Incremental error-budget ladder** ([`decode_with_errors`]): going
+//!   from `e` presumed errors to `e + 1` adds exactly two columns — one
+//!   more `Q` coefficient (`x^{degree+e+1}`) and one more `E` coefficient
+//!   (`−y·x^{e+1}`) — so the ladder extends one elimination instead of
+//!   re-solving an ever-larger system from scratch at each error count.
+//! - **Batched decoding** ([`BatchDecoder`]): all codewords that share one
+//!   evaluation-point set (the per-beat GVSS recover case — every dealer's
+//!   share vector uses the same node indices) share the entire Vandermonde
+//!   `Q`-block of the key equation, which only depends on the `x`s. The
+//!   decoder factors that block once per rung (LU-style: the elimination's
+//!   operation log *is* the factorization) and per codeword replays the
+//!   log against just the `y`-dependent columns — back-substitution-sized
+//!   work instead of a full elimination. Only two rungs exist: the clean
+//!   fast path (`e = 0`) and the full-budget stage, which in the
+//!   homogeneous form resolves every error count in between (see
+//!   [`BatchDecoder::decode_one`]).
+//!
+//! Both paths return exactly what the one-shot decoder returns: the unique
+//! codeword within `budget` mismatches of the view, or `None`. (Two
+//! degree-`≤ d` polynomials within `budget = (n − d − 1) / 2` mismatches
+//! of the same `n`-point view would agree on `≥ d + 1` points and hence be
+//! equal, so *which* candidate generation succeeds first cannot change the
+//! answer — a property the proptests below pin.)
 
 // Indexed loops in this file mirror the paper's matrix/polynomial
 // subscripts; iterator rewrites would obscure the math.
 #![allow(clippy::needless_range_loop)]
-use crate::{linalg, Fp, FpElem, Poly};
+use crate::linalg::Eliminator;
+use crate::{Fp, FpElem, Poly};
 
 /// Decodes a polynomial of degree at most `degree` from `points`, tolerating
 /// up to `max_errors` corrupted y-values.
@@ -24,6 +65,10 @@ use crate::{linalg, Fp, FpElem, Poly};
 /// fail (returns `None`) rather than panic, because in the protocol the
 /// point list is keyed by node id and duplicates indicate caller error only
 /// in tests.
+///
+/// Decoding many codewords over one x-set? Use [`BatchDecoder`], which
+/// amortizes the elimination across the batch and returns identical
+/// results.
 ///
 /// # Example
 ///
@@ -56,11 +101,74 @@ pub fn decode(fp: &Fp, points: &[(FpElem, FpElem)], degree: usize) -> Option<Pol
     decode_with_errors(fp, points, degree, max_errors)
 }
 
+/// Which unknown a pushed column of the key equation stands for.
+#[derive(Debug, Clone, Copy)]
+enum Unknown {
+    /// Coefficient `j` of `Q`.
+    Q(usize),
+    /// Coefficient `j` of the error locator `E`.
+    E(usize),
+}
+
+/// Splits a kernel vector of the key equation into `(Q, E)` coefficient
+/// vectors according to the column labels.
+fn split_kernel(labels: &[Unknown], kernel: &[FpElem]) -> (Vec<FpElem>, Vec<FpElem>) {
+    let q_len = labels.iter().filter(|l| matches!(l, Unknown::Q(_))).count();
+    let mut q = vec![0; q_len];
+    let mut e = vec![0; labels.len() - q_len];
+    for (label, &v) in labels.iter().zip(kernel) {
+        match label {
+            Unknown::Q(j) => q[*j] = v,
+            Unknown::E(j) => e[*j] = v,
+        }
+    }
+    (q, e)
+}
+
+/// Turns one kernel vector of the key equation into an accepted codeword,
+/// or `None` when the candidate does not survive the checks: `E ≢ 0`, the
+/// division `Q / E` exact, the quotient of degree `≤ degree` and within
+/// `budget` mismatches of the view. Shared by the ladder and the batch
+/// decoder so acceptance can never drift between them.
+fn accept_candidate(
+    fp: &Fp,
+    xs: &[FpElem],
+    ys: &[FpElem],
+    degree: usize,
+    budget: usize,
+    labels: &[Unknown],
+    kernel: &[FpElem],
+) -> Option<Poly> {
+    let (q_coeffs, e_coeffs) = split_kernel(labels, kernel);
+    let q = Poly::from_coeffs(q_coeffs);
+    let e = Poly::from_coeffs(e_coeffs);
+    if e.is_zero() {
+        // Impossible over distinct xs (a nonzero kernel vector with E = 0
+        // would force Q to vanish at more points than its degree), but
+        // reachable through duplicate xs fed to `decode_with_errors`.
+        return None;
+    }
+    let (p, rem) = q.divmod(fp, &e).ok()?;
+    if !rem.is_zero() || p.degree().is_some_and(|d| d > degree) {
+        return None;
+    }
+    // Accept only if the candidate explains all but <= budget points; this
+    // rejects spurious solutions of the key equation.
+    let mismatches = xs
+        .iter()
+        .zip(ys)
+        .filter(|&(&x, &y)| p.eval(fp, x) != y)
+        .count();
+    (mismatches <= budget).then_some(p)
+}
+
 /// Berlekamp–Welch with an explicit error budget `e`.
 ///
-/// Tries `e, e-1, …, 0` until a candidate polynomial explains all but at
-/// most `e` of the points. Exposed for tests and for callers that know a
-/// tighter bound than `(n - degree - 1) / 2`.
+/// Tries `e = 0, 1, …` until a candidate polynomial explains all but at
+/// most `budget` of the points, extending **one** elimination by the two
+/// new columns of each rung (see the module docs) instead of re-solving
+/// from scratch at each error count. Exposed for tests and for callers
+/// that know a tighter bound than `(n - degree - 1) / 2`.
 pub fn decode_with_errors(
     fp: &Fp,
     points: &[(FpElem, FpElem)],
@@ -72,85 +180,248 @@ pub fn decode_with_errors(
         return None;
     }
     let budget = max_errors.min((n - degree - 1) / 2);
-    // One workspace for the whole attempt ladder: every `try_decode` call
-    // refills these rows in place instead of allocating a fresh system —
-    // this is the ticket-coin recover round's hot path (`benches/field.rs`
-    // measures it), and the matrix build dominated its allocator traffic.
-    let mut a: Vec<Vec<FpElem>> = Vec::with_capacity(n);
-    let mut b: Vec<FpElem> = Vec::with_capacity(n);
-    // Ascending e: the clean/low-error case (the common one) solves the
+    let xs: Vec<FpElem> = points.iter().map(|&(x, _)| fp.reduce(x)).collect();
+    let ys: Vec<FpElem> = points.iter().map(|&(_, y)| fp.reduce(y)).collect();
+    // x^j for every point, up to the largest power any rung needs.
+    let xpow = power_table(fp, &xs, degree + budget);
+
+    let mut el = Eliminator::new(n);
+    let mut labels: Vec<Unknown> = Vec::with_capacity(degree + 2 * budget + 2);
+    let push = |el: &mut Eliminator, label: Unknown, labels: &mut Vec<Unknown>| {
+        let col: Vec<FpElem> = match label {
+            Unknown::Q(j) => (0..n).map(|i| xpow[i][j]).collect(),
+            Unknown::E(j) => (0..n).map(|i| fp.neg(fp.mul(ys[i], xpow[i][j]))).collect(),
+        };
+        el.push_col(fp, col);
+        labels.push(label);
+    };
+    // Rung e = 0: Q(x_i) = y_i * E with constant E.
+    for j in 0..=degree {
+        push(&mut el, Unknown::Q(j), &mut labels);
+    }
+    push(&mut el, Unknown::E(0), &mut labels);
+    // Ascending e: the clean/low-error case (the common one) stops at the
     // smallest system. Correctness does not depend on the order — any
     // candidate within `budget` mismatches of the view is the unique
     // codeword at that distance.
     for e in 0..=budget {
-        if let Some(p) = try_decode(fp, points, degree, e, &mut a, &mut b) {
-            // Accept only if the candidate explains all but <= budget points;
-            // this rejects spurious solutions of the key equation.
-            let mismatches = points
-                .iter()
-                .filter(|&&(x, y)| p.eval(fp, x) != fp.reduce(y))
-                .count();
-            if mismatches <= budget && p.degree().is_none_or(|d| d <= degree) {
-                return Some(p);
-            }
+        if e > 0 {
+            // The incremental rung: two columns extend the elimination.
+            push(&mut el, Unknown::Q(degree + e), &mut labels);
+            push(&mut el, Unknown::E(e), &mut labels);
+        }
+        if let Some(kernel) = el.kernel_vector(fp) {
+            // The first kernel candidate settles the decode either way:
+            // `kernel_vector` always reads off the *first* free column,
+            // and columns pushed on later rungs contribute zero
+            // coefficients to that padded vector (a free column is zero
+            // at and below the elimination front of its time), so every
+            // later rung would re-derive this exact candidate.
+            return accept_candidate(fp, &xs, &ys, degree, budget, &labels, &kernel);
         }
     }
     None
 }
 
-/// One Berlekamp–Welch attempt with exactly `e` presumed errors.
+/// `table[i][j] = xs[i]^j` for `j = 0..=max_pow`.
+fn power_table(fp: &Fp, xs: &[FpElem], max_pow: usize) -> Vec<Vec<FpElem>> {
+    xs.iter()
+        .map(|&x| {
+            let mut row = Vec::with_capacity(max_pow + 1);
+            let mut xp: FpElem = 1 % fp.modulus();
+            for _ in 0..=max_pow {
+                row.push(xp);
+                xp = fp.mul(xp, x);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Decodes many codewords that share one evaluation-point set, factoring
+/// the shared Vandermonde block of the Berlekamp–Welch key equation once
+/// (per error count, lazily) and back-substituting per codeword.
 ///
-/// Solves for `E(x)` monic of degree `e` and `Q(x)` of degree `<= degree+e`
-/// such that `Q(x_i) = y_i * E(x_i)` for every point, then returns `Q / E`
-/// when the division is exact.
+/// This is the shape of the GVSS recover round: at each beat a node
+/// decodes one degree-`f` polynomial per `(dealer, target)` pair, and all
+/// of them are evaluated at the same node indices. Results are bit-for-bit
+/// identical to calling [`decode`] per codeword (pinned by proptests); the
+/// saving is the elimination of the `Q`-block, which dominates the system
+/// and depends only on the `x`s.
 ///
-/// `a`/`b` are the caller's reusable workspace (see
-/// [`decode_with_errors`]): rows are resized and refilled in place, and
-/// the elimination runs inside them via [`linalg::solve_in_place`].
-fn try_decode(
-    fp: &Fp,
-    points: &[(FpElem, FpElem)],
+/// # Example
+///
+/// ```
+/// use byzclock_field::{BatchDecoder, Fp, Poly};
+///
+/// # fn main() -> Result<(), byzclock_field::FieldError> {
+/// let fp = Fp::new(11)?;
+/// let xs: Vec<u64> = (1..=7).collect();
+/// let p = Poly::from_coeffs(vec![5, 3, 7]);
+/// let q = Poly::from_coeffs(vec![2, 0, 9]);
+/// let mut ys_p: Vec<u64> = xs.iter().map(|&x| p.eval(&fp, x)).collect();
+/// let ys_q: Vec<u64> = xs.iter().map(|&x| q.eval(&fp, x)).collect();
+/// ys_p[4] = fp.add(ys_p[4], 3); // one corrupted share
+///
+/// let mut dec = BatchDecoder::new(&fp, &xs, 2).expect("distinct xs, enough points");
+/// assert_eq!(dec.budget(), 2);
+/// assert_eq!(dec.decode_batch(&[ys_p, ys_q]), vec![Some(p), Some(q)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchDecoder {
+    fp: Fp,
+    xs: Vec<FpElem>,
     degree: usize,
-    e: usize,
-    a: &mut Vec<Vec<FpElem>>,
-    b: &mut Vec<FpElem>,
-) -> Option<Poly> {
-    let n = points.len();
-    let q_len = degree + e + 1; // unknown coefficients of Q
-    let unknowns = q_len + e; // plus e non-leading coefficients of E
-    a.resize_with(n, Vec::new);
-    b.clear();
-    for (&(x, y), row) in points.iter().zip(a.iter_mut()) {
-        let x = fp.reduce(x);
-        let y = fp.reduce(y);
-        row.clear();
-        row.resize(unknowns, 0);
-        // Q coefficients: + x^j
-        let mut xp: FpElem = 1 % fp.modulus();
-        for coef in row.iter_mut().take(q_len) {
-            *coef = xp;
-            xp = fp.mul(xp, x);
+    budget: usize,
+    /// `xpow[i][j] = xs[i]^j`, shared by every stage and codeword.
+    xpow: Vec<Vec<FpElem>>,
+    /// The eliminated Vandermonde `Q`-block for the two rungs the decode
+    /// ladder runs — `e = 0` (the clean fast path) and `e = budget` —
+    /// each built on first use, so a clean batch only ever factors the
+    /// first.
+    clean_stage: Option<Eliminator>,
+    full_stage: Option<Eliminator>,
+}
+
+impl BatchDecoder {
+    /// A decoder for codewords of degree at most `degree` evaluated at
+    /// `xs`.
+    ///
+    /// Returns `None` exactly when [`decode`] would fail for *any*
+    /// codeword over these points: an empty or too-short point set
+    /// (`xs.len() < degree + 1`) or duplicate x-coordinates.
+    pub fn new(fp: &Fp, xs: &[FpElem], degree: usize) -> Option<Self> {
+        if xs.len() < degree + 1 {
+            return None;
         }
-        // E coefficients (non-leading): - y * x^j
-        let mut xp: FpElem = 1 % fp.modulus();
-        for coef in row.iter_mut().skip(q_len) {
-            *coef = fp.neg(fp.mul(y, xp));
-            xp = fp.mul(xp, x);
+        let xs: Vec<FpElem> = xs.iter().map(|&x| fp.reduce(x)).collect();
+        for (i, &xi) in xs.iter().enumerate() {
+            if xs[i + 1..].contains(&xi) {
+                return None;
+            }
         }
-        // Monic leading term of E moves to the rhs: y * x^e
-        b.push(fp.mul(y, fp.pow(x, e as u64)));
+        let budget = (xs.len() - degree - 1) / 2;
+        let xpow = power_table(fp, &xs, degree + budget);
+        Some(BatchDecoder {
+            fp: *fp,
+            xs,
+            degree,
+            budget,
+            xpow,
+            clean_stage: None,
+            full_stage: None,
+        })
     }
-    let sol = linalg::solve_in_place(fp, &mut a[..n], &mut b[..n], unknowns)?;
-    let q = Poly::from_coeffs(sol[..q_len].to_vec());
-    let mut e_coeffs = sol[q_len..].to_vec();
-    e_coeffs.push(1); // monic
-    let e_poly = Poly::from_coeffs(e_coeffs);
-    let (p, rem) = q.divmod(fp, &e_poly).ok()?;
-    if rem.is_zero() {
-        Some(p)
-    } else {
+
+    /// Number of evaluation points per codeword.
+    pub fn codeword_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// The error budget: up to this many corrupted values per codeword are
+    /// tolerated (`(len − degree − 1) / 2`).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Decodes one codeword. Returns the unique polynomial of degree
+    /// `≤ degree` within [`BatchDecoder::budget`] mismatches of `ys`, or
+    /// `None` — including when `ys.len()` does not match
+    /// [`BatchDecoder::codeword_len`].
+    ///
+    /// Only two rungs of the error ladder ever run: the clean fast path
+    /// (`e = 0`, a single `y`-column against the small Vandermonde block)
+    /// and the full-budget stage. The intermediate rungs the one-shot
+    /// ladder climbs are redundant here: at the full budget, *any*
+    /// nonzero kernel vector already satisfies `Q = P·E` exactly whenever
+    /// the view is within budget of a codeword `P` (the
+    /// `n ≥ degree + 2·budget + 1` point count makes `Q − P·E` vanish at
+    /// more points than its degree), so every error count `1..=budget`
+    /// is resolved by one stage — and the answer is still identical to
+    /// the one-shot decode by uniqueness.
+    pub fn decode_one(&mut self, ys: &[FpElem]) -> Option<Poly> {
+        let n = self.xs.len();
+        if ys.len() != n {
+            return None;
+        }
+        let fp = self.fp;
+        let ys: Vec<FpElem> = ys.iter().map(|&y| fp.reduce(y)).collect();
+        for (rung, e) in [0, self.budget].into_iter().enumerate() {
+            if rung > 0 && e == 0 {
+                break; // budget 0: the clean rung was the only one
+            }
+            let q_len = self.degree + e + 1;
+            // Per-codeword columns first (they borrow `xpow` immutably).
+            let e_cols: Vec<Vec<FpElem>> = (0..=e)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| fp.neg(fp.mul(ys[i], self.xpow[i][j])))
+                        .collect()
+                })
+                .collect();
+            let xpow = &self.xpow;
+            let stage = if rung == 0 {
+                &mut self.clean_stage
+            } else {
+                &mut self.full_stage
+            }
+            .get_or_insert_with(|| build_stage(&fp, xpow, q_len));
+            // Push the y-dependent columns, read a kernel vector, rewind
+            // to the shared Q-block factorization.
+            let mark = stage.mark();
+            for col in e_cols {
+                stage.push_col(&fp, col);
+            }
+            let kernel = stage.kernel_vector(&fp);
+            stage.reset(mark);
+            if let Some(kernel) = kernel {
+                let labels: Vec<Unknown> = (0..q_len)
+                    .map(Unknown::Q)
+                    .chain((0..=e).map(Unknown::E))
+                    .collect();
+                // The first kernel candidate settles the decode either
+                // way: over distinct xs the representation of a
+                // dependent column is unique, so the full-budget rung
+                // would re-derive this exact candidate padded with zero
+                // coefficients.
+                return accept_candidate(
+                    &fp,
+                    &self.xs,
+                    &ys,
+                    self.degree,
+                    self.budget,
+                    &labels,
+                    &kernel,
+                );
+            }
+        }
         None
     }
+
+    /// Decodes a batch of codewords; `out[i]` is [`decode_one`] of
+    /// `codewords[i]`. The two shared stage factorizations (clean rung,
+    /// full-budget rung) are built at most once across the whole batch —
+    /// the amortization the GVSS recover round leans on.
+    ///
+    /// [`decode_one`]: BatchDecoder::decode_one
+    pub fn decode_batch(&mut self, codewords: &[Vec<FpElem>]) -> Vec<Option<Poly>> {
+        codewords.iter().map(|ys| self.decode_one(ys)).collect()
+    }
+}
+
+/// Eliminates a [`BatchDecoder`] stage's shared Vandermonde `Q`-block.
+/// Distinct xs make the block full column rank, so every column pivots
+/// and the stage is rewindable to this state per codeword.
+fn build_stage(fp: &Fp, xpow: &[Vec<FpElem>], q_len: usize) -> Eliminator {
+    let n = xpow.len();
+    let mut el = Eliminator::new(n);
+    for j in 0..q_len {
+        let pivoted = el.push_col(fp, (0..n).map(|i| xpow[i][j]).collect());
+        debug_assert!(pivoted, "Vandermonde columns over distinct xs pivot");
+    }
+    el
 }
 
 #[cfg(test)]
@@ -208,6 +479,7 @@ mod tests {
         let fp = Fp::new(11).unwrap();
         let pts = vec![(1, 2), (1, 3), (2, 4), (3, 5)];
         assert_eq!(decode(&fp, &pts, 1), None);
+        assert!(BatchDecoder::new(&fp, &[1, 1, 2, 3], 1).is_none());
     }
 
     #[test]
@@ -215,6 +487,8 @@ mod tests {
         let fp = Fp::new(11).unwrap();
         let pts: Vec<_> = (1..=5u64).map(|x| (x, 0u64)).collect();
         assert_eq!(decode(&fp, &pts, 1), Some(Poly::zero()));
+        let mut dec = BatchDecoder::new(&fp, &[1, 2, 3, 4, 5], 1).unwrap();
+        assert_eq!(dec.decode_one(&[0; 5]), Some(Poly::zero()));
     }
 
     #[test]
@@ -232,6 +506,54 @@ mod tests {
         view_b[6].1 = 1;
         assert_eq!(decode(&fp, &view_a, 2), Some(p.clone()));
         assert_eq!(decode(&fp, &view_b, 2), Some(p));
+    }
+
+    #[test]
+    fn batch_decoder_rejects_short_point_sets_and_bad_lengths() {
+        let fp = Fp::new(11).unwrap();
+        assert!(BatchDecoder::new(&fp, &[], 1).is_none());
+        assert!(BatchDecoder::new(&fp, &[1, 2], 2).is_none());
+        let mut dec = BatchDecoder::new(&fp, &[1, 2, 3, 4, 5], 1).unwrap();
+        assert_eq!(dec.codeword_len(), 5);
+        assert_eq!(dec.decode_one(&[1, 2, 3]), None, "length mismatch");
+    }
+
+    #[test]
+    fn batch_decoder_reduces_inputs_like_decode() {
+        // Unreduced xs/ys must behave as their reduced forms, matching the
+        // per-point reduction of the one-shot path.
+        let fp = Fp::new(11).unwrap();
+        let p = Poly::from_coeffs(vec![4, 2]);
+        let xs: Vec<u64> = (1..=5).collect();
+        let ys: Vec<u64> = xs.iter().map(|&x| p.eval(&fp, x) + 22).collect();
+        let mut dec = BatchDecoder::new(&fp, &xs, 1).unwrap();
+        assert_eq!(dec.decode_one(&ys), Some(p));
+        // Duplicate-after-reduction xs are rejected like literal ones.
+        assert!(BatchDecoder::new(&fp, &[1, 12, 2, 3], 1).is_none());
+    }
+
+    #[test]
+    fn batch_reuses_stages_across_mixed_error_counts() {
+        // One decoder, many codewords with 0..=budget errors each, decoded
+        // in an order that exercises stage reuse after rewinds.
+        let fp = Fp::for_cluster(13);
+        let mut rng = StdRng::seed_from_u64(42);
+        let f = 4;
+        let mut dec = BatchDecoder::new(&fp, &(1..=13).collect::<Vec<_>>(), f).unwrap();
+        for round in 0..3u64 {
+            for errors in [f, 0, 2, 1, f, 0] {
+                let p = Poly::random_with_secret(&fp, fp.sample(&mut rng), f, &mut rng);
+                let mut ys: Vec<u64> = (1..=13).map(|x| p.eval(&fp, x)).collect();
+                for i in 0..errors {
+                    ys[i] = fp.add(ys[i], 1 + round);
+                }
+                assert_eq!(
+                    dec.decode_one(&ys),
+                    Some(p),
+                    "round {round}, {errors} errors"
+                );
+            }
+        }
     }
 
     proptest! {
@@ -272,6 +594,76 @@ mod tests {
                 }
             }
             prop_assert_eq!(decode(&fp, &pts, degree), Some(p));
+        }
+
+        /// The tentpole contract: `BatchDecoder` output is identical to
+        /// per-codeword [`decode`] across random error patterns up to f —
+        /// and slightly beyond, where both must agree on the failure (or
+        /// on whichever codeword the over-corrupted view landed near).
+        /// Error counts >= 1 drive the incremental ladder past its first
+        /// rung on both paths.
+        #[test]
+        fn batch_decoder_matches_sequential_decode(
+            seed in 0u64..200,
+            f in 1usize..4,
+            codewords in 1usize..6,
+        ) {
+            let n = 3 * f + 1;
+            let fp = Fp::for_cluster(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let xs: Vec<u64> = (1..=n as u64).collect();
+            let mut dec = BatchDecoder::new(&fp, &xs, f).expect("valid point set");
+            prop_assert_eq!(dec.budget(), f, "n = 3f + 1 tolerates exactly f errors");
+            let mut batch = Vec::new();
+            for _ in 0..codewords {
+                let p = Poly::random_with_secret(&fp, fp.sample(&mut rng), f, &mut rng);
+                let mut ys: Vec<u64> = xs.iter().map(|&x| p.eval(&fp, x)).collect();
+                // 0..=f+1 corruptions: within budget, at budget, beyond.
+                let errors = rng.random_range(0..=f + 1);
+                for _ in 0..errors {
+                    let idx = rng.random_range(0..n);
+                    ys[idx] = fp.sample(&mut rng);
+                }
+                batch.push(ys);
+            }
+            let batched = dec.decode_batch(&batch);
+            for (ys, got) in batch.iter().zip(&batched) {
+                let pts: Vec<(u64, u64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+                prop_assert_eq!(got.clone(), decode(&fp, &pts, f));
+            }
+        }
+
+        /// The incremental ladder (`decode_with_errors` with a caller
+        /// budget) agrees with a fresh decoder at every max_errors cut.
+        #[test]
+        fn incremental_ladder_matches_at_every_budget(
+            seed in 0u64..200,
+            degree in 0usize..3,
+        ) {
+            let fp = Fp::new(101).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = degree + 7; // budget (n - degree - 1) / 2 = 3
+            let p = Poly::random_with_secret(&fp, fp.sample(&mut rng), degree, &mut rng);
+            let mut pts: Vec<(u64, u64)> =
+                (1..=n as u64).map(|x| (x, p.eval(&fp, x))).collect();
+            let errors = rng.random_range(0..=3usize);
+            for i in 0..errors {
+                pts[i].1 = fp.sample(&mut rng);
+            }
+            for max_errors in 0..=3usize {
+                let got = decode_with_errors(&fp, &pts, degree, max_errors);
+                // The ladder must find p whenever the corruption fits the
+                // caller's budget; the uniqueness argument covers the rest.
+                if errors <= max_errors {
+                    prop_assert_eq!(got, Some(p.clone()), "max_errors {}", max_errors);
+                } else if let Some(q) = got {
+                    let mismatches = pts
+                        .iter()
+                        .filter(|&&(x, y)| q.eval(&fp, x) != fp.reduce(y))
+                        .count();
+                    prop_assert!(mismatches <= max_errors.min((n - degree - 1) / 2));
+                }
+            }
         }
     }
 }

@@ -87,8 +87,8 @@ pub mod scenario {
 
     pub use byzclock_core::scenario::{
         builder_for, clock_adversary, delay_extras, drive, drive_exact, AdversarySpec, ClockRun,
-        CoinSpec, FaultPlanSpec, ProtocolFamily, ProtocolRegistry, RunReport, ScenarioError,
-        ScenarioRun, ScenarioSpec, TimingModel, TrafficSummary, DEFAULT_SYNC_WINDOW,
+        CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolFamily, ProtocolRegistry, RunReport,
+        ScenarioError, ScenarioRun, ScenarioSpec, TimingModel, TrafficSummary, DEFAULT_SYNC_WINDOW,
     };
 
     /// A registry with every protocol family in the workspace registered.
