@@ -19,7 +19,7 @@
 
 use bytes::BytesMut;
 use byzclock_core::RoundProtocol;
-use byzclock_sim::{NodeCfg, NodeId, SimRng, Target, Wire};
+use byzclock_sim::{NodeCfg, NodeId, SimRng, Target, Wire, WireReader};
 use rand::Rng;
 
 /// Messages of the consensus instances.
@@ -63,6 +63,16 @@ impl Wire for BaMsg {
             BaMsg::Perm(p) => p.encoded_len(),
             BaMsg::Bit(_) => 1,
             BaMsg::BitProp(p) => p.encoded_len(),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(BaMsg::Val(u64::decode(r)?)),
+            1 => Some(BaMsg::Perm(Option::decode(r)?)),
+            2 => Some(BaMsg::Bit(bool::decode(r)?)),
+            3 => Some(BaMsg::BitProp(Option::decode(r)?)),
+            _ => None,
         }
     }
 }

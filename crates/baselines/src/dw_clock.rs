@@ -9,7 +9,7 @@
 
 use bytes::BytesMut;
 use byzclock_core::DigitalClock;
-use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Wire};
+use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Wire, WireReader};
 use rand::Rng;
 
 /// Message of [`DwClock`]: the sender's clock value.
@@ -23,6 +23,10 @@ impl Wire for DwMsg {
 
     fn encoded_len(&self) -> usize {
         8
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        u64::decode(r).map(DwMsg)
     }
 }
 

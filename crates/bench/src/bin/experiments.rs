@@ -17,7 +17,7 @@
 
 use byzclock::scenario::{
     default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolRegistry,
-    RunReport, ScenarioSpec,
+    RunReport, ScenarioSpec, WireSpec,
 };
 use byzclock_bench::{default_threads, md_table, parallel_trials, sweep, trials, Summary};
 
@@ -639,9 +639,15 @@ fn s1_self_stabilization() {
 
 fn m1_message_complexity() {
     println!("## M1 — message complexity per beat (correct senders, k = 64)\n");
+    println!(
+        "Cells: msgs / fixed-wire bytes / packed-wire bytes (packed gain).\n\
+         The packed format prices field elements at their minimal width and\n\
+         presence vectors as bitsets (`wire=packed`); message counts and\n\
+         protocol behavior are identical between the two encodings.\n"
+    );
     let registry = default_registry();
     let columns: [(&str, &str, CoinSpec); 4] = [
-        ("ClockSync (msgs/bytes)", "clock-sync", CoinSpec::Ticket),
+        ("ClockSync (GVSS ticket)", "clock-sync", CoinSpec::Ticket),
         ("Recursive x6 levels", "recursive", CoinSpec::Ticket),
         ("PkClock (O(f) pipeline)", "pk-clock", CoinSpec::None),
         ("DwClock", "dw-clock", CoinSpec::Local),
@@ -657,10 +663,14 @@ fn m1_message_complexity() {
                 .with_faults(FaultPlanSpec::none())
                 .with_seed(1)
                 .with_budget(50);
-            let t = exact(&registry, &spec).traffic;
+            let fixed = exact(&registry, &spec).traffic;
+            let packed = exact(&registry, &spec.clone().with_wire(WireSpec::Packed)).traffic;
             cells.push(format!(
-                "{:.0} / {:.0}",
-                t.mean_correct_msgs_per_beat, t.mean_correct_bytes_per_beat
+                "{:.0} / {:.0} / {:.0} ({:.1}x)",
+                fixed.mean_correct_msgs_per_beat,
+                fixed.mean_correct_bytes_per_beat,
+                packed.mean_correct_bytes_per_beat,
+                fixed.mean_correct_bytes_per_beat / packed.mean_correct_bytes_per_beat
             ));
         }
         rows.push(cells);
@@ -672,7 +682,9 @@ fn m1_message_complexity() {
     println!(
         "Shape check: ClockSync's overhead over the 4-clock is a constant\n\
          (one extra broadcast + one coin pipeline); the recursive clock pays\n\
-         log k pipelines; PkClock pays an O(f)-deep pipeline.\n"
+         log k pipelines; PkClock pays an O(f)-deep pipeline. The packed\n\
+         gain concentrates where the GVSS matrices are (ticket columns) —\n\
+         the scalar-message baselines barely move.\n"
     );
 }
 

@@ -30,6 +30,17 @@ use byzclock_field::{BatchDecoder, Fp, Poly, SymmetricBivariate};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
 use rand::Rng;
 
+/// Per-round sender dedup: claims `from`'s slot in `seen` and reports
+/// whether the message should be *skipped* — `true` when the sender
+/// already spent its one message this round (first wins; a malformed
+/// first message still spends the slot) or its id is out of range.
+fn claim_sender_slot(seen: &mut [bool], from: &NodeId) -> bool {
+    match seen.get_mut(from.index()) {
+        Some(slot) => std::mem::replace(slot, true),
+        None => true,
+    }
+}
+
 /// Grade of a dealer at this node after the vote round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Grade {
@@ -217,12 +228,18 @@ impl GvssCore {
     }
 
     /// Round 1 receive: record which senders' cross-points match my rows.
+    /// One `Echo` per sender (first wins, like [`GvssCore::recv_vote`] and
+    /// [`GvssCore::recv_recover`]).
     pub fn recv_echo(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
+        let mut seen = vec![false; n];
         for (from, msg) in inbox {
             let CoinMsg::Echo { points } = msg else {
                 continue;
             };
+            if claim_sender_slot(&mut seen, from) {
+                continue;
+            }
             let Some(points) = check_matrix(points, n, self.targets) else {
                 continue;
             };
@@ -252,13 +269,20 @@ impl GvssCore {
         out.push((Target::All, CoinMsg::Vote { content }));
     }
 
-    /// Round 2 receive: tally votes, fix grades.
+    /// Round 2 receive: tally votes, fix grades. One `Vote` per sender
+    /// (first wins) — without the dedup a double-send would simply
+    /// overwrite, but first-wins keeps the accounting uniform across the
+    /// three tally rounds.
     pub fn recv_vote(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
+        let mut seen = vec![false; n];
         for (from, msg) in inbox {
             let CoinMsg::Vote { content } = msg else {
                 continue;
             };
+            if claim_sender_slot(&mut seen, from) {
+                continue;
+            }
             if content.len() != n {
                 continue;
             }
@@ -311,10 +335,22 @@ impl GvssCore {
         // opener) per target.
         let mut xs: Vec<Vec<u64>> = vec![Vec::new(); n];
         let mut ys: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); self.targets]; n];
+        // One `Recover` per sender, first wins. This dedup is
+        // load-bearing, not bookkeeping: a second copy of the same message
+        // (a phantom replay, a Byzantine double-send) would push the
+        // sender's share point into `xs[dealer]` twice, the duplicate
+        // x-point would make [`BatchDecoder::new`] return `None`, and
+        // *every* codeword of every dealer sharing that point set would
+        // fail to open — one replayed envelope stalling the whole recover
+        // round.
+        let mut seen = vec![false; n];
         for (from, msg) in inbox {
             let CoinMsg::Recover { shares } = msg else {
                 continue;
             };
+            if claim_sender_slot(&mut seen, from) {
+                continue;
+            }
             let Some(shares) = check_matrix(shares, n, self.targets) else {
                 continue;
             };
@@ -594,6 +630,117 @@ mod tests {
             assert_eq!(core.grade(NodeId::new(0)), Grade::Two);
             assert_eq!(core.included().count(), 3);
         }
+    }
+
+    /// Regression: a single duplicated `Recover` message must not poison
+    /// the decode. Before the per-sender dedup, the duplicate pushed its
+    /// sender's share point into every dealer's `xs` twice; the duplicated
+    /// x-point made the shared `BatchDecoder` factorization `None`, and
+    /// every secret of every dealer opened by that point set failed — one
+    /// phantom replay (or Byzantine double-send) stalling recovery
+    /// cluster-wide.
+    #[test]
+    fn duplicated_recover_message_still_opens_the_secrets() {
+        let n = 7;
+        let f = 2;
+        let targets = 3;
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut cores: Vec<GvssCore> = (0..n as u16)
+            .map(|i| GvssCore::new(NodeCfg::new(NodeId::new(i), n, f), targets))
+            .collect();
+        let route = |sends: Vec<(NodeId, Vec<(Target, CoinMsg)>)>| {
+            let mut inboxes: Vec<Vec<(NodeId, CoinMsg)>> = vec![Vec::new(); n];
+            for (from, outs) in sends {
+                for (target, msg) in outs {
+                    match target {
+                        Target::All => {
+                            for to in 0..n {
+                                inboxes[to].push((from, msg.clone()));
+                            }
+                        }
+                        Target::One(to) => inboxes[to.index()].push((from, msg)),
+                    }
+                }
+            }
+            inboxes
+        };
+        // Honest rounds 0-2.
+        for round in 0..3 {
+            let sends: Vec<_> = cores
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| {
+                    let mut out = Vec::new();
+                    match round {
+                        0 => c.send_share(&mut rng, |r| r.random_range(0..7), &mut out),
+                        1 => c.send_echo(&mut out),
+                        _ => c.send_vote(&mut out),
+                    }
+                    (NodeId::new(i as u16), out)
+                })
+                .collect();
+            for (c, inbox) in cores.iter_mut().zip(route(sends)) {
+                match round {
+                    0 => c.recv_share(&inbox),
+                    1 => c.recv_echo(&inbox),
+                    _ => c.recv_vote(&inbox),
+                }
+            }
+        }
+        // Recover round — with node 1's broadcast replayed once, as a
+        // phantom burst (or a Byzantine double-send) would.
+        let sends: Vec<_> = cores
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut out = Vec::new();
+                c.send_recover(&mut out);
+                if i == 1 {
+                    let dup = out[0].1.clone();
+                    out.push((Target::All, dup));
+                }
+                (NodeId::new(i as u16), out)
+            })
+            .collect();
+        let dealt: Vec<Vec<u64>> = cores.iter().map(|c| c.my_secrets().to_vec()).collect();
+        for (c, inbox) in cores.iter_mut().zip(route(sends)) {
+            c.recv_recover(&inbox);
+        }
+        for core in &cores {
+            for dealer in 0..n {
+                for (t, &secret) in dealt[dealer].iter().enumerate() {
+                    assert_eq!(
+                        core.recovered(NodeId::new(dealer as u16), t),
+                        Some(secret),
+                        "dealer {dealer} target {t}: duplicated Recover poisoned the decode"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The tally rounds keep the *first* message per sender: a duplicate
+    /// vote with flipped content cannot rewrite the tally.
+    #[test]
+    fn duplicate_votes_and_echoes_keep_the_first_message() {
+        let cfg = NodeCfg::new(NodeId::new(0), 4, 1);
+        let mut core = GvssCore::new(cfg, 1);
+        let from = NodeId::new(2);
+        core.recv_vote(&[
+            (
+                from,
+                CoinMsg::Vote {
+                    content: vec![true; 4],
+                },
+            ),
+            (
+                from,
+                CoinMsg::Vote {
+                    content: vec![false; 4],
+                },
+            ),
+        ]);
+        assert!(core.votes.iter().all(|per| per[2]), "first vote must stand");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use crate::round::{CoinScheme, RoundProtocol};
 use bytes::BytesMut;
-use byzclock_sim::{Application, Envelope, NodeId, Outbox, SimRng, Target, Wire};
+use byzclock_sim::{Application, Envelope, NodeId, Outbox, SimRng, Target, Wire, WireReader};
 use rand::Rng;
 
 /// A buffered-mode message: the instance-round index it belongs to plus
@@ -61,6 +61,29 @@ impl<M: Wire> Wire for RoundMsg<M> {
 
     fn encoded_len(&self) -> usize {
         1 + self.msg.encoded_len()
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(RoundMsg {
+            round: u8::decode(r)?,
+            msg: M::decode(r)?,
+        })
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        self.round.encode(buf);
+        self.msg.encode_packed(buf);
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + self.msg.packed_len()
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(RoundMsg {
+            round: u8::decode(r)?,
+            msg: M::decode_packed(r)?,
+        })
     }
 }
 

@@ -21,7 +21,9 @@ use crate::four_clock::{FourClock, FourClockMsg};
 use crate::rand_source::RandSource;
 use crate::trit::dedup_by_sender;
 use bytes::BytesMut;
-use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
+use byzclock_sim::{
+    Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire, WireReader,
+};
 use rand::Rng;
 
 /// Messages of `ss-Byz-Clock-Sync`.
@@ -72,6 +74,51 @@ impl<M: Wire> Wire for ClockSyncMsg<M> {
             ClockSyncMsg::Propose(p) => p.encoded_len(),
             ClockSyncMsg::BitVote(b) => b.encoded_len(),
             ClockSyncMsg::Coin(m) => m.encoded_len(),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(ClockSyncMsg::Four(FourClockMsg::decode(r)?)),
+            1 => Some(ClockSyncMsg::Full(u64::decode(r)?)),
+            2 => Some(ClockSyncMsg::Propose(Option::decode(r)?)),
+            3 => Some(ClockSyncMsg::BitVote(bool::decode(r)?)),
+            4 => Some(ClockSyncMsg::Coin(M::decode(r)?)),
+            _ => None,
+        }
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        match self {
+            ClockSyncMsg::Four(m) => {
+                0u8.encode(buf);
+                m.encode_packed(buf);
+            }
+            ClockSyncMsg::Coin(m) => {
+                4u8.encode(buf);
+                m.encode_packed(buf);
+            }
+            // The block broadcasts are single scalars — nothing to pack.
+            other => other.encode(buf),
+        }
+    }
+
+    fn packed_len(&self) -> usize {
+        match self {
+            ClockSyncMsg::Four(m) => 1 + m.packed_len(),
+            ClockSyncMsg::Coin(m) => 1 + m.packed_len(),
+            other => other.encoded_len(),
+        }
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(ClockSyncMsg::Four(FourClockMsg::decode_packed(r)?)),
+            1 => Some(ClockSyncMsg::Full(u64::decode(r)?)),
+            2 => Some(ClockSyncMsg::Propose(Option::decode(r)?)),
+            3 => Some(ClockSyncMsg::BitVote(bool::decode(r)?)),
+            4 => Some(ClockSyncMsg::Coin(M::decode_packed(r)?)),
+            _ => None,
         }
     }
 }

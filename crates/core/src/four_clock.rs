@@ -19,7 +19,9 @@ use crate::rand_source::RandSource;
 use crate::trit::{dedup_by_sender, Trit};
 use crate::two_clock::{TwoClock, TwoClockCore, TwoClockMsg};
 use bytes::BytesMut;
-use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
+use byzclock_sim::{
+    Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire, WireReader,
+};
 use rand::Rng;
 
 /// Messages of `ss-Byz-4-Clock`: tagged traffic of the two sub-clocks.
@@ -48,6 +50,41 @@ impl<M: Wire> Wire for FourClockMsg<M> {
     fn encoded_len(&self) -> usize {
         1 + match self {
             FourClockMsg::A1(m) | FourClockMsg::A2(m) => m.encoded_len(),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(FourClockMsg::A1(TwoClockMsg::decode(r)?)),
+            1 => Some(FourClockMsg::A2(TwoClockMsg::decode(r)?)),
+            _ => None,
+        }
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        match self {
+            FourClockMsg::A1(m) => {
+                0u8.encode(buf);
+                m.encode_packed(buf);
+            }
+            FourClockMsg::A2(m) => {
+                1u8.encode(buf);
+                m.encode_packed(buf);
+            }
+        }
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + match self {
+            FourClockMsg::A1(m) | FourClockMsg::A2(m) => m.packed_len(),
+        }
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(FourClockMsg::A1(TwoClockMsg::decode_packed(r)?)),
+            1 => Some(FourClockMsg::A2(TwoClockMsg::decode_packed(r)?)),
+            _ => None,
         }
     }
 }
@@ -250,6 +287,48 @@ impl<M: Wire> Wire for SharedFourClockMsg<M> {
         1 + match self {
             SharedFourClockMsg::A1Vote(t) | SharedFourClockMsg::A2Vote(t) => t.encoded_len(),
             SharedFourClockMsg::Coin(m) => m.encoded_len(),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(SharedFourClockMsg::A1Vote(Trit::decode(r)?)),
+            1 => Some(SharedFourClockMsg::A2Vote(Trit::decode(r)?)),
+            2 => Some(SharedFourClockMsg::Coin(M::decode(r)?)),
+            _ => None,
+        }
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        match self {
+            SharedFourClockMsg::A1Vote(t) => {
+                0u8.encode(buf);
+                t.encode_packed(buf);
+            }
+            SharedFourClockMsg::A2Vote(t) => {
+                1u8.encode(buf);
+                t.encode_packed(buf);
+            }
+            SharedFourClockMsg::Coin(m) => {
+                2u8.encode(buf);
+                m.encode_packed(buf);
+            }
+        }
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + match self {
+            SharedFourClockMsg::A1Vote(t) | SharedFourClockMsg::A2Vote(t) => t.packed_len(),
+            SharedFourClockMsg::Coin(m) => m.packed_len(),
+        }
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(SharedFourClockMsg::A1Vote(Trit::decode_packed(r)?)),
+            1 => Some(SharedFourClockMsg::A2Vote(Trit::decode_packed(r)?)),
+            2 => Some(SharedFourClockMsg::Coin(M::decode_packed(r)?)),
+            _ => None,
         }
     }
 }

@@ -31,7 +31,7 @@
 
 use crate::round::RoundProtocol;
 use bytes::BytesMut;
-use byzclock_sim::{NodeId, SimRng, Target, Wire};
+use byzclock_sim::{NodeId, SimRng, Target, Wire, WireReader};
 use std::collections::VecDeque;
 
 /// A pipelined instance's message, tagged with the slot (= round) index it
@@ -53,6 +53,29 @@ impl<M: Wire> Wire for SlotMsg<M> {
 
     fn encoded_len(&self) -> usize {
         1 + self.msg.encoded_len()
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(SlotMsg {
+            slot: u8::decode(r)?,
+            msg: M::decode(r)?,
+        })
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        self.slot.encode(buf);
+        self.msg.encode_packed(buf);
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + self.msg.packed_len()
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(SlotMsg {
+            slot: u8::decode(r)?,
+            msg: M::decode_packed(r)?,
+        })
     }
 }
 

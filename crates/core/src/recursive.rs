@@ -17,7 +17,7 @@ use crate::rand_source::RandSource;
 use crate::trit::Trit;
 use crate::two_clock::{TwoClock, TwoClockMsg};
 use bytes::BytesMut;
-use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Target, Wire};
+use byzclock_sim::{Application, Envelope, NodeCfg, Outbox, SimRng, Target, Wire, WireReader};
 use rand::Rng;
 
 /// A message of one level of the chain.
@@ -37,6 +37,29 @@ impl<M: Wire> Wire for LevelMsg<M> {
 
     fn encoded_len(&self) -> usize {
         1 + self.msg.encoded_len()
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(LevelMsg {
+            level: u8::decode(r)?,
+            msg: TwoClockMsg::decode(r)?,
+        })
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        self.level.encode(buf);
+        self.msg.encode_packed(buf);
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + self.msg.packed_len()
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        Some(LevelMsg {
+            level: u8::decode(r)?,
+            msg: TwoClockMsg::decode_packed(r)?,
+        })
     }
 }
 

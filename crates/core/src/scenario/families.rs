@@ -42,15 +42,17 @@ pub(super) fn oracle_beacon(spec: &ScenarioSpec, i: u64) -> OracleBeacon {
 }
 
 /// The [`SimBuilder`] every family starts from: cluster shape, seed,
-/// fault schedule, boot corruption, timing model, and Byzantine placement
-/// straight from the spec — so every protocol family in the workspace
-/// accepts the `delay=` knob without per-family plumbing.
+/// fault schedule, boot corruption, timing model, wire codec, and
+/// Byzantine placement straight from the spec — so every protocol family
+/// in the workspace accepts the `delay=` and `wire=` knobs without
+/// per-family plumbing.
 pub fn builder_for(spec: &ScenarioSpec) -> SimBuilder {
     SimBuilder::new(spec.n, spec.f)
         .seed(spec.seed)
         .faults(spec.fault_plan.to_plan())
         .corrupted_start(spec.fault_plan.corrupt_start)
         .timing(spec.timing())
+        .wire(spec.wire_config())
         .apply(|b| match &spec.byzantine {
             Some(ids) => b.byzantine(ids.iter().copied()),
             None => b,

@@ -41,8 +41,9 @@ pub use run::{
     delay_extras, drive, drive_exact, ClockRun, RunReport, ScenarioRun, TrafficSummary,
     DEFAULT_SYNC_WINDOW,
 };
-pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ScenarioSpec};
+pub use spec::{AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ScenarioSpec, WireSpec};
 
-// The spec's `delay=` knob resolves to this sim-layer model; re-exported
-// so scenario-level callers need not depend on `byzclock-sim` directly.
-pub use byzclock_sim::TimingModel;
+// The spec's `delay=` and `wire=` knobs resolve to these sim-layer
+// configs; re-exported so scenario-level callers need not depend on
+// `byzclock-sim` directly.
+pub use byzclock_sim::{TimingModel, WireConfig, WireFormat};

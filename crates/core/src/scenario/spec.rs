@@ -19,7 +19,7 @@
 //! strings (and the reports that echo them) are unchanged.
 
 use super::registry::ScenarioError;
-use byzclock_sim::{FaultEvent, FaultKind, FaultPlan, NodeId, TimingModel};
+use byzclock_sim::{FaultEvent, FaultKind, FaultPlan, NodeId, TimingModel, WireConfig, WireFormat};
 use std::fmt;
 
 /// Which randomness substrate the protocol draws its per-beat bit from.
@@ -179,6 +179,75 @@ impl std::str::FromStr for MetricsSpec {
             "decode" => Ok(MetricsSpec::Decode),
             _ => Err(ScenarioError::Parse(format!(
                 "unknown metrics spec `{s}` (valid: none, decode)"
+            ))),
+        }
+    }
+}
+
+/// Which wire codec carries (and prices) the run's messages.
+///
+/// The first half of the name picks the [`WireFormat`] — `fixed` is the
+/// historical fixed-width encoding, `packed` the compact one (minimal-width
+/// field elements, bitsets, length deltas) — and the `-bytes` suffix turns
+/// on the runner's *byte boundary*: every envelope is serialized at send
+/// and re-parsed at delivery instead of moving in memory. Byte-boundary
+/// runs produce reports identical to their in-memory twins (pinned by
+/// tests); the knob exists so the serialization seam is actually exercised
+/// — the seam a cross-process sweep backend will stand on. Default `fixed`,
+/// omitted from spec lines, so every historical line and golden report is
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireSpec {
+    /// Fixed-width encoding, in-memory delivery (the default).
+    #[default]
+    Fixed,
+    /// Packed encoding, in-memory delivery.
+    Packed,
+    /// Fixed-width encoding across a real byte boundary.
+    FixedBytes,
+    /// Packed encoding across a real byte boundary.
+    PackedBytes,
+}
+
+impl WireSpec {
+    /// The sim-layer [`WireConfig`] this spec selects.
+    pub fn config(&self) -> WireConfig {
+        match self {
+            WireSpec::Fixed => WireConfig::default(),
+            WireSpec::Packed => WireConfig::packed(),
+            WireSpec::FixedBytes => WireConfig::fixed().with_byte_boundary(),
+            WireSpec::PackedBytes => WireConfig::packed().with_byte_boundary(),
+        }
+    }
+
+    /// The encoding half of the knob.
+    pub fn format(&self) -> WireFormat {
+        self.config().format
+    }
+}
+
+impl fmt::Display for WireSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireSpec::Fixed => write!(f, "fixed"),
+            WireSpec::Packed => write!(f, "packed"),
+            WireSpec::FixedBytes => write!(f, "fixed-bytes"),
+            WireSpec::PackedBytes => write!(f, "packed-bytes"),
+        }
+    }
+}
+
+impl std::str::FromStr for WireSpec {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "fixed" => Ok(WireSpec::Fixed),
+            "packed" => Ok(WireSpec::Packed),
+            "fixed-bytes" => Ok(WireSpec::FixedBytes),
+            "packed-bytes" => Ok(WireSpec::PackedBytes),
+            _ => Err(ScenarioError::Parse(format!(
+                "unknown wire spec `{s}` (valid: fixed, packed, fixed-bytes, packed-bytes)"
             ))),
         }
     }
@@ -452,6 +521,10 @@ pub struct ScenarioSpec {
     /// (`metrics=decode`; default none, omitted from spec lines so
     /// historical lines and reports are unchanged).
     pub metrics: MetricsSpec,
+    /// Wire codec: encoding format plus the byte-boundary toggle
+    /// (`wire=fixed|packed|fixed-bytes|packed-bytes`; default fixed,
+    /// omitted from spec lines).
+    pub wire: WireSpec,
     /// Master seed; every random stream in the run derives from it.
     pub seed: u64,
     /// Maximum beats to execute before giving up on convergence.
@@ -473,6 +546,7 @@ impl ScenarioSpec {
             delay: 0,
             byzantine: None,
             metrics: MetricsSpec::None,
+            wire: WireSpec::Fixed,
             seed: 0,
             beat_budget: 5_000,
         }
@@ -530,6 +604,17 @@ impl ScenarioSpec {
         self
     }
 
+    /// Selects the wire codec (format + byte boundary).
+    pub fn with_wire(mut self, wire: WireSpec) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// The sim-layer [`WireConfig`] this spec selects.
+    pub fn wire_config(&self) -> WireConfig {
+        self.wire.config()
+    }
+
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -552,6 +637,18 @@ impl ScenarioSpec {
             return fail(format!(
                 "fault budget f={} must be below n={}",
                 self.f, self.n
+            ));
+        }
+        if self.n <= 2 * self.f {
+            // The paper assumes n > 3f; n > 2f is the weakest budget at
+            // which the n - f quorums still outnumber the liars (at
+            // n <= 2f GVSS would grade dealers on n - 2f = 0 votes).
+            // Rejecting here turns the sim layer's construction panic
+            // into a diagnosable spec error.
+            return fail(format!(
+                "degenerate fault budget: n={} must exceed 2f={} (paper assumes n > 3f)",
+                self.n,
+                2 * self.f
             ));
         }
         if self.clock_modulus == 0 {
@@ -587,8 +684,8 @@ impl ScenarioSpec {
     /// The keys [`ScenarioSpec::parse`] understands, in canonical order —
     /// kept next to the `match` below so diagnostics never drift from the
     /// parser.
-    pub const KEYS: [&'static str; 11] = [
-        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "metrics", "seed", "budget",
+    pub const KEYS: [&'static str; 12] = [
+        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "metrics", "wire", "seed", "budget",
     ];
 
     /// Parses the single-line form (see the type-level example).
@@ -638,6 +735,7 @@ impl ScenarioSpec {
                     )
                 }
                 "metrics" => spec.metrics = value.parse()?,
+                "wire" => spec.wire = value.parse()?,
                 "seed" => spec.seed = num(value)?,
                 "budget" => spec.beat_budget = num(value)?,
                 _ => {
@@ -686,6 +784,10 @@ impl fmt::Display for ScenarioSpec {
             // Like `delay`, the key appears only when set, so historical
             // spec lines (and the reports that echo them) are unchanged.
             write!(f, " metrics={}", self.metrics)?;
+        }
+        if self.wire != WireSpec::Fixed {
+            // Same pattern: the default wire codec renders nothing.
+            write!(f, " wire={}", self.wire)?;
         }
         write!(f, " seed={} budget={}", self.seed, self.beat_budget)
     }
@@ -778,6 +880,41 @@ mod tests {
         assert!(ScenarioSpec::parse("two-clock n=4 coin=oracle:800,800").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 byz=9").is_err());
         assert!(ScenarioSpec::parse("two-clock n=4 faults=meteor@3").is_err());
+        assert!(ScenarioSpec::parse("two-clock n=4 wire=zip").is_err());
+    }
+
+    #[test]
+    fn degenerate_fault_budgets_are_rejected_with_a_diagnosis() {
+        // n = 2f: the n - 2f grading threshold collapses to zero votes
+        // (the recv_vote zero-vote Grade::One bug); rejected at validate
+        // so it reads as a spec error instead of a construction panic.
+        let err = ScenarioSpec::parse("clock-sync n=4 f=2").unwrap_err();
+        assert!(err.to_string().contains("n > 3f"), "{err}");
+        assert!(ScenarioSpec::parse("clock-sync n=6 f=3").is_err());
+        // The resiliency boundary n = 3f stays expressible.
+        assert!(ScenarioSpec::parse("clock-sync n=6 f=2").is_ok());
+    }
+
+    #[test]
+    fn wire_knob_round_trips_and_defaults_off() {
+        let spec = ScenarioSpec::new("clock-sync", 4, 1);
+        assert_eq!(spec.wire, WireSpec::Fixed);
+        assert!(!spec.to_string().contains("wire="));
+        assert_eq!(spec.wire_config(), byzclock_sim::WireConfig::default());
+        for (wire, token, boundary) in [
+            (WireSpec::Packed, "wire=packed ", false),
+            (WireSpec::FixedBytes, "wire=fixed-bytes ", true),
+            (WireSpec::PackedBytes, "wire=packed-bytes ", true),
+        ] {
+            let on = spec.clone().with_wire(wire);
+            let line = on.to_string();
+            assert!(line.contains(token), "{line}");
+            assert_eq!(ScenarioSpec::parse(&line).unwrap(), on);
+            assert_eq!(on.wire_config().byte_boundary, boundary);
+        }
+        // An explicit default parses and renders back to nothing.
+        let parsed = ScenarioSpec::parse("two-clock n=4 f=1 wire=fixed").unwrap();
+        assert!(!parsed.to_string().contains("wire="));
     }
 
     #[test]
@@ -818,6 +955,11 @@ mod tests {
             "bd-clock n=7 f=2 k=8 coin=oracle delay=2",
             // ARCHITECTURE.md instrumentation example
             "coin-stream n=7 f=2 coin=ticket faults=none metrics=decode budget=40",
+            // CI wire-codec smoke lines / ARCHITECTURE.md wire-format section
+            "coin-stream n=7 f=2 coin=ticket adv=silent faults=none wire=packed seed=1 \
+             budget=40",
+            "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start \
+             wire=packed-bytes seed=1 budget=2000",
         ];
         for line in documented {
             let spec = ScenarioSpec::parse(line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
@@ -839,7 +981,8 @@ mod tests {
             .with_modulus(64)
             .with_delay(2)
             .with_byzantine([0, 3])
-            .with_metrics(MetricsSpec::Decode);
+            .with_metrics(MetricsSpec::Decode)
+            .with_wire(WireSpec::PackedBytes);
         let line = spec.to_string();
         let rendered: Vec<&str> = line
             .split_whitespace()

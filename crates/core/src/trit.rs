@@ -1,7 +1,7 @@
 //! The three-valued clock domain `{0, 1, ⊥}` and the quorum-majority rule.
 
 use bytes::BytesMut;
-use byzclock_sim::{NodeId, SimRng, Wire};
+use byzclock_sim::{NodeId, SimRng, Wire, WireReader};
 use rand::Rng;
 
 /// A 2-clock value: `0`, `1`, or the undecided marker `⊥` ("Bot").
@@ -68,6 +68,15 @@ impl Wire for Trit {
 
     fn encoded_len(&self) -> usize {
         1
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(Trit::Zero),
+            1 => Some(Trit::One),
+            2 => Some(Trit::Bot),
+            _ => None,
+        }
     }
 }
 

@@ -16,7 +16,9 @@ use crate::clock::DigitalClock;
 use crate::rand_source::RandSource;
 use crate::trit::{dedup_by_sender, majority_literal, majority_with_rand, Trit};
 use bytes::BytesMut;
-use byzclock_sim::{Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire};
+use byzclock_sim::{
+    Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire, WireReader,
+};
 use rand::Rng;
 
 /// The paper's lines 3–6 as a reusable state machine: the clock variable
@@ -115,6 +117,42 @@ impl<M: Wire> Wire for TwoClockMsg<M> {
         1 + match self {
             TwoClockMsg::Clock(t) => t.encoded_len(),
             TwoClockMsg::Coin(m) => m.encoded_len(),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(TwoClockMsg::Clock(Trit::decode(r)?)),
+            1 => Some(TwoClockMsg::Coin(M::decode(r)?)),
+            _ => None,
+        }
+    }
+
+    fn encode_packed(&self, buf: &mut BytesMut) {
+        match self {
+            TwoClockMsg::Clock(t) => {
+                0u8.encode(buf);
+                t.encode_packed(buf);
+            }
+            TwoClockMsg::Coin(m) => {
+                1u8.encode(buf);
+                m.encode_packed(buf);
+            }
+        }
+    }
+
+    fn packed_len(&self) -> usize {
+        1 + match self {
+            TwoClockMsg::Clock(t) => t.packed_len(),
+            TwoClockMsg::Coin(m) => m.packed_len(),
+        }
+    }
+
+    fn decode_packed(r: &mut WireReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(TwoClockMsg::Clock(Trit::decode_packed(r)?)),
+            1 => Some(TwoClockMsg::Coin(M::decode_packed(r)?)),
+            _ => None,
         }
     }
 }

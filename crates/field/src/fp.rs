@@ -73,6 +73,28 @@ impl Fp {
         self.p
     }
 
+    /// Minimum number of bytes that hold any canonical element, i.e.
+    /// `ceil(log2(p) / 8)` — the element width the packed wire format pays
+    /// per field value. For every realistic cluster (`p` = smallest prime
+    /// above `n`) this is 1, against the 8 bytes of a fixed-width `u64`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use byzclock_field::Fp;
+    ///
+    /// assert_eq!(Fp::for_cluster(7).elem_width(), 1);   // p = 11
+    /// assert_eq!(Fp::new(65537).unwrap().elem_width(), 3);
+    /// ```
+    pub fn elem_width(&self) -> usize {
+        let max = self.p - 1;
+        if max == 0 {
+            1
+        } else {
+            (64 - max.leading_zeros() as usize).div_ceil(8)
+        }
+    }
+
     /// Reduces an arbitrary `u64` into the field.
     pub fn reduce(&self, x: u64) -> FpElem {
         x % self.p
@@ -187,6 +209,24 @@ mod tests {
         // Degenerate cluster sizes still produce a valid field.
         assert_eq!(Fp::for_cluster(0).modulus(), 3);
         assert_eq!(Fp::for_cluster(1).modulus(), 3);
+    }
+
+    #[test]
+    fn elem_width_is_the_minimal_byte_count() {
+        assert_eq!(Fp::new(2).unwrap().elem_width(), 1);
+        assert_eq!(Fp::new(251).unwrap().elem_width(), 1); // max elem 250
+        assert_eq!(Fp::new(257).unwrap().elem_width(), 2); // max elem 256
+        assert_eq!(Fp::new(65537).unwrap().elem_width(), 3);
+        for n in [4usize, 7, 10, 13, 100] {
+            // Every realistic cluster field packs into a single byte...
+            // until n outgrows 255.
+            let fp = Fp::for_cluster(n);
+            let width = fp.elem_width();
+            assert!(256u64.pow(width as u32) > fp.modulus() - 1);
+            if fp.modulus() <= 256 {
+                assert_eq!(width, 1);
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::adversary::{Adversary, Visibility};
 use crate::rng::stream_rng;
 use crate::runner::Simulation;
-use crate::{Application, FaultPlan, NodeCfg, NodeId, SimRng, TimingModel};
+use crate::{Application, FaultPlan, NodeCfg, NodeId, SimRng, TimingModel, WireConfig};
 
 /// Builder for a [`Simulation`].
 ///
@@ -33,6 +33,7 @@ pub struct SimBuilder {
     history_cap: usize,
     corrupted_start: bool,
     timing: TimingModel,
+    wire: WireConfig,
 }
 
 impl SimBuilder {
@@ -42,10 +43,18 @@ impl SimBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `f >= n`.
+    /// Panics if `n == 0` or `n <= 2f`. The paper assumes `n > 3f`; the
+    /// builder only enforces the weaker `n > 2f` so the resiliency
+    /// experiments can probe the `f = n/3` boundary — but below a correct
+    /// majority every `n - f` threshold in the stack degenerates (`n - 2f`
+    /// reaches 0, so GVSS would grade dealers on *zero* votes), so such
+    /// budgets are configuration errors, not scenarios.
     pub fn new(n: usize, f: usize) -> Self {
         assert!(n >= 1, "cluster must have at least one node");
-        assert!(f < n, "fault budget must leave at least one correct node");
+        assert!(
+            n > 2 * f,
+            "fault budget f={f} must leave a correct majority (n > 2f), got n={n}"
+        );
         let byz = ((n - f) as u16..n as u16).map(NodeId::new).collect();
         SimBuilder {
             n,
@@ -57,6 +66,7 @@ impl SimBuilder {
             history_cap: 4096,
             corrupted_start: false,
             timing: TimingModel::Lockstep,
+            wire: WireConfig::default(),
         }
     }
 
@@ -128,6 +138,16 @@ impl SimBuilder {
         self
     }
 
+    /// Wire-codec configuration: which encoding ([`crate::WireFormat`])
+    /// the byte accounting uses, and whether envelopes actually cross a
+    /// byte boundary (serialized at send, re-parsed at delivery). The
+    /// default — fixed format, in-memory delivery — is byte-identical to
+    /// the pre-codec simulator.
+    pub fn wire(mut self, wire: WireConfig) -> Self {
+        self.wire = wire;
+        self
+    }
+
     /// Capacity of the stale-traffic ring used for phantom replay.
     pub fn history_cap(mut self, cap: usize) -> Self {
         self.history_cap = cap;
@@ -179,6 +199,7 @@ impl SimBuilder {
             history_cap,
             corrupted_start,
             timing,
+            wire,
         } = self;
         let mut apps = Vec::with_capacity(n);
         let mut node_rngs = Vec::with_capacity(n);
@@ -222,6 +243,7 @@ impl SimBuilder {
             history_cap,
             timing,
             delay_rng,
+            wire,
         )
     }
 }
@@ -263,6 +285,13 @@ mod tests {
     #[should_panic(expected = "fault budget")]
     fn rejects_f_equal_n() {
         let _ = SimBuilder::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "correct majority")]
+    fn rejects_degenerate_budget_without_correct_majority() {
+        // n = 2f: every n - f threshold stops outnumbering the liars.
+        let _ = SimBuilder::new(4, 2);
     }
 
     #[test]

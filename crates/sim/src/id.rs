@@ -60,7 +60,21 @@ pub struct NodeCfg {
 
 impl NodeCfg {
     /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 2f`. The paper assumes `n > 3f`; the weaker
+    /// `n > 2f` floor is the last point where the protocols' thresholds
+    /// still mean anything — at `n <= 2f` the quorum `n - f` no longer
+    /// outnumbers the liars and `n - 2f` collapses to zero, so (for
+    /// example) GVSS would grade a dealer `One` on *zero* content votes.
+    /// Such configurations are construction errors, never scenarios.
     pub fn new(id: NodeId, n: usize, f: usize) -> Self {
+        assert!(
+            n > 2 * f,
+            "degenerate config: n={n} must exceed 2f={} (paper assumes n > 3f)",
+            2 * f
+        );
         NodeCfg { id, n, f }
     }
 
@@ -93,6 +107,22 @@ mod tests {
         let cfg = NodeCfg::new(NodeId::new(0), 7, 2);
         assert_eq!(cfg.quorum(), 5);
         assert_eq!(cfg.all_ids().count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate config")]
+    fn degenerate_fault_budget_is_rejected() {
+        // n = 2f: the n - 2f vote threshold would be 0, so GVSS would
+        // grade dealers One on an empty vote set. Rejected at construction.
+        let _ = NodeCfg::new(NodeId::new(0), 4, 2);
+    }
+
+    #[test]
+    fn boundary_budget_n_just_above_2f_is_legal() {
+        // n = 2f + 1 is the weakest legal budget (the resiliency grid's
+        // n = 3f cells sit above it).
+        let cfg = NodeCfg::new(NodeId::new(0), 5, 2);
+        assert_eq!(cfg.quorum(), 3);
     }
 
     #[test]

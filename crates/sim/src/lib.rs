@@ -40,6 +40,9 @@
 //! struct Ping(u16);
 //! impl Wire for Ping {
 //!     fn encode(&self, buf: &mut bytes::BytesMut) { self.0.encode(buf) }
+//!     fn decode(r: &mut byzclock_sim::WireReader<'_>) -> Option<Self> {
+//!         u16::decode(r).map(Ping)
+//!     }
 //! }
 //!
 //! impl Application for Pinger {
@@ -89,4 +92,4 @@ pub use rng::{derive_seed, SimRng};
 pub use runner::Simulation;
 pub use stats::{BeatTraffic, TrafficStats};
 pub use timing::TimingModel;
-pub use wire::Wire;
+pub use wire::{Wire, WireConfig, WireFormat, WireReader, MAX_WIRE_ELEMS};

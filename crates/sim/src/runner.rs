@@ -31,8 +31,8 @@ use crate::app::{Application, Outbox};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::TrafficStats;
 use crate::timing::DeliveryScheduler;
-use crate::wire::Wire;
-use crate::{Envelope, NodeId, SimRng, TimingModel};
+use crate::{Envelope, NodeId, SimRng, TimingModel, WireConfig};
+use bytes::BytesMut;
 use rand::Rng;
 use std::collections::VecDeque;
 
@@ -67,6 +67,7 @@ pub struct Simulation<A: Application, Adv> {
     history_cap: usize,
     pending_phantoms: Vec<Envelope<A::Msg>>,
     blackout_until: u64,
+    wire: WireConfig,
 }
 
 impl<A, Adv> Simulation<A, Adv>
@@ -90,6 +91,7 @@ where
         history_cap: usize,
         timing: TimingModel,
         delay_rng: SimRng,
+        wire: WireConfig,
     ) -> Self {
         Simulation {
             n,
@@ -110,6 +112,7 @@ where
             history_cap,
             pending_phantoms: Vec::new(),
             blackout_until: 0,
+            wire,
         }
     }
 
@@ -141,6 +144,34 @@ where
     /// The run's delivery-timing model.
     pub fn timing(&self) -> TimingModel {
         self.scheduler.model()
+    }
+
+    /// The run's wire-codec configuration.
+    pub fn wire(&self) -> WireConfig {
+        self.wire
+    }
+
+    /// The byte-boundary seam: when enabled, an envelope's payload is
+    /// serialized in the run's wire format and re-parsed before it enters
+    /// the delivery scheduler — what a cross-process backend would do with
+    /// a real socket between the two halves. Envelopes whose bytes fail to
+    /// parse are dropped; a correct node's messages always round-trip, so
+    /// only hostile or stale garbage can fail here.
+    fn reserialize(&self, e: Envelope<A::Msg>) -> Option<Envelope<A::Msg>> {
+        if !self.wire.byte_boundary {
+            return Some(e);
+        }
+        // No capacity hint: computing an exact packed length would cost
+        // another full scan per envelope, and these payloads are tiny.
+        let mut buf = BytesMut::new();
+        self.wire.format.encode_into(&e.msg, &mut buf);
+        let msg = self.wire.format.decode_from(buf.as_slice())?;
+        Some(Envelope {
+            from: e.from,
+            to: e.to,
+            round: e.round,
+            msg,
+        })
     }
 
     /// Observed-delay histogram: `histogram[d]` counts messages scheduled
@@ -191,11 +222,12 @@ where
                 }
             }
             {
+                let format = self.wire.format;
                 let cur = self.stats.current();
                 cur.correct_msgs += envelopes.len() as u64;
                 cur.correct_bytes += envelopes
                     .iter()
-                    .map(|e| e.msg.encoded_len() as u64)
+                    .map(|e| format.len_of(&e.msg) as u64)
                     .sum::<u64>();
             }
 
@@ -214,11 +246,12 @@ where
             self.adversary.act(&view, &mut byz_out);
             let (byz_sends, forged) = byz_out.into_parts();
             {
+                let format = self.wire.format;
                 let cur = self.stats.current();
                 cur.byz_msgs += byz_sends.len() as u64;
                 cur.byz_bytes += byz_sends
                     .iter()
-                    .map(|(_, e)| e.msg.encoded_len() as u64)
+                    .map(|(_, e)| format.len_of(&e.msg) as u64)
                     .sum::<u64>();
                 cur.forged_dropped += forged;
             }
@@ -245,15 +278,22 @@ where
             }
 
             // --- route everything through the delivery scheduler ---
+            // (crossing the byte boundary first, when the run has one)
             for e in envelopes {
-                self.scheduler.schedule(self.beat, phase, e);
+                if let Some(e) = self.reserialize(e) {
+                    self.scheduler.schedule(self.beat, phase, e);
+                }
             }
             for (delay, e) in byz_sends {
-                self.scheduler.schedule_at(self.beat, phase, delay, e);
+                if let Some(e) = self.reserialize(e) {
+                    self.scheduler.schedule_at(self.beat, phase, delay, e);
+                }
             }
             for e in phantoms {
                 // Phantoms model stale traffic resurfacing *now*.
-                self.scheduler.schedule_at(self.beat, phase, 0, e);
+                if let Some(e) = self.reserialize(e) {
+                    self.scheduler.schedule_at(self.beat, phase, 0, e);
+                }
             }
 
             // --- deliver what is due this (beat, phase) slot ---
@@ -357,6 +397,7 @@ where
 mod tests {
     use super::*;
     use crate::faults::FaultEvent;
+    use crate::wire::Wire;
     use crate::{SilentAdversary, SimBuilder};
     use bytes::BytesMut;
 
@@ -377,6 +418,10 @@ mod tests {
         fn encode(&self, buf: &mut BytesMut) {
             self.0.encode(buf);
             self.1.encode(buf);
+        }
+
+        fn decode(r: &mut crate::WireReader<'_>) -> Option<Self> {
+            Some(Tagged(u16::decode(r)?, u64::decode(r)?))
         }
     }
 
@@ -472,7 +517,19 @@ mod tests {
 
     #[test]
     fn byzantine_nodes_run_no_application() {
-        let sim = recorder_sim(4, 2, 1, FaultPlan::none());
+        // Two *actual* traitors under a budget of f=1: placement beyond
+        // the budget stays legal (resiliency experiments depend on it);
+        // only degenerate budgets (n <= 2f) are rejected at construction.
+        let sim = SimBuilder::new(4, 1).seed(5).byzantine([2u16, 3]).build(
+            |cfg, _rng| Recorder {
+                me: cfg.id,
+                nphases: 1,
+                round_trips: Vec::new(),
+                counter: 0,
+                corrupted: false,
+            },
+            SilentAdversary,
+        );
         assert_eq!(sim.correct_apps().count(), 2);
         assert_eq!(sim.byzantine().len(), 2);
         assert!(sim.app(NodeId::new(3)).is_none());
@@ -771,6 +828,80 @@ mod tests {
             .map(|((_, a), b)| a.round_trips.len() - b)
             .sum();
         assert!(grew > 2 * 3 * 3, "phantom deliveries missing: {grew}");
+    }
+
+    /// The byte-boundary seam is behaviorally invisible: a run whose
+    /// envelopes are serialized at send and re-parsed at delivery produces
+    /// exactly the states and traffic of the in-memory run — under both
+    /// formats, and with phantoms and faults in the mix.
+    #[test]
+    fn byte_boundary_runs_match_in_memory_runs() {
+        let plan = || {
+            FaultPlan::new(vec![
+                FaultEvent {
+                    beat: 2,
+                    kind: FaultKind::CorruptNodes(vec![NodeId::new(0)]),
+                },
+                FaultEvent {
+                    beat: 3,
+                    kind: FaultKind::PhantomBurst { count: 6 },
+                },
+            ])
+        };
+        let run = |wire: crate::WireConfig| {
+            let mut sim = SimBuilder::new(5, 1)
+                .seed(9)
+                .wire(wire)
+                .faults(plan())
+                .build(
+                    move |cfg, _rng| Recorder {
+                        me: cfg.id,
+                        nphases: 2,
+                        round_trips: Vec::new(),
+                        counter: 0,
+                        corrupted: false,
+                    },
+                    SilentAdversary,
+                );
+            sim.run_beats(8);
+            let states: Vec<String> = sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
+            (states, sim.stats().clone())
+        };
+        for format in [crate::WireFormat::Fixed, crate::WireFormat::Packed] {
+            let in_memory = run(crate::WireConfig {
+                format,
+                byte_boundary: false,
+            });
+            let bounded = run(crate::WireConfig {
+                format,
+                byte_boundary: true,
+            });
+            assert_eq!(in_memory, bounded, "{format:?}");
+        }
+    }
+
+    /// Packed accounting uses the packed length; for a type without a
+    /// packed override the two formats agree (packed falls back to fixed).
+    #[test]
+    fn packed_accounting_falls_back_to_fixed_for_plain_types() {
+        let run = |wire: crate::WireConfig| {
+            let mut sim = SimBuilder::new(4, 1).seed(5).wire(wire).build(
+                move |cfg, _rng| Recorder {
+                    me: cfg.id,
+                    nphases: 1,
+                    round_trips: Vec::new(),
+                    counter: 0,
+                    corrupted: false,
+                },
+                SilentAdversary,
+            );
+            sim.step();
+            sim.stats().per_beat()[0].correct_bytes
+        };
+        assert_eq!(
+            run(crate::WireConfig::fixed()),
+            run(crate::WireConfig::packed())
+        );
     }
 
     #[test]

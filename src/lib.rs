@@ -88,7 +88,8 @@ pub mod scenario {
     pub use byzclock_core::scenario::{
         builder_for, clock_adversary, delay_extras, drive, drive_exact, AdversarySpec, ClockRun,
         CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolFamily, ProtocolRegistry, RunReport,
-        ScenarioError, ScenarioRun, ScenarioSpec, TimingModel, TrafficSummary, DEFAULT_SYNC_WINDOW,
+        ScenarioError, ScenarioRun, ScenarioSpec, TimingModel, TrafficSummary, WireConfig,
+        WireFormat, WireSpec, DEFAULT_SYNC_WINDOW,
     };
 
     /// A registry with every protocol family in the workspace registered.

@@ -1,0 +1,181 @@
+//! The byte boundary is behaviorally invisible: a run whose envelopes are
+//! serialized at send and re-parsed at delivery (`wire=fixed-bytes` /
+//! `wire=packed-bytes`) produces a report identical to its in-memory twin
+//! — for **every** protocol family in the registry, under faults,
+//! phantoms, adversaries, and bounded delay. And the packed format changes
+//! *only* the byte accounting: convergence, clocks, and extras match the
+//! fixed format line for line.
+
+use byzclock::scenario::{default_registry, RunReport, ScenarioSpec, WireSpec};
+use proptest::prelude::*;
+
+/// One spec line per protocol family (and per coin substrate where a name
+/// resolves differently by coin), budgets sized for test time. Kept in
+/// sync with `default_registry().names()` by
+/// `every_registered_family_is_covered` below.
+const FAMILY_LINES: &[&str] = &[
+    "two-clock n=7 f=2 coin=oracle adv=split-vote faults=corrupt-start seed=5 budget=300",
+    "two-clock n=4 f=1 coin=local faults=corrupt-start seed=1 budget=400",
+    "two-clock n=4 f=1 coin=ticket faults=corrupt-start seed=2 budget=150",
+    "two-clock n=4 f=1 coin=xor faults=corrupt-start seed=2 budget=150",
+    "broken-two-clock n=7 f=2 coin=oracle adv=rand-aware-splitter faults=corrupt-start seed=3 \
+     budget=300",
+    "four-clock n=7 f=2 coin=oracle faults=corrupt-start seed=4 budget=300",
+    "four-clock n=4 f=1 coin=ticket faults=corrupt-start seed=4 budget=150",
+    "shared-four-clock n=4 f=1 coin=ticket faults=corrupt-start seed=6 budget=150",
+    "clock-sync n=7 f=2 k=8 coin=oracle faults=corrupt-start seed=7 budget=300",
+    "clock-sync n=4 f=1 k=16 coin=ticket faults=corrupt-start seed=8 budget=200",
+    // A fault storm with phantom replays: stale envelopes also cross the
+    // byte boundary when they resurface.
+    "clock-sync n=4 f=1 k=16 coin=ticket faults=scramble@20+phantoms@20:50 seed=8 budget=200",
+    "recursive n=7 f=2 k=8 coin=oracle faults=corrupt-start seed=9 budget=400",
+    "bd-clock n=7 f=2 k=8 coin=oracle faults=corrupt-start delay=2 seed=10 budget=600",
+    "dw-clock n=4 f=1 k=2 coin=local faults=corrupt-start seed=11 budget=3000",
+    "queen-clock n=5 f=1 k=8 coin=none adv=ba-equivocator byz=0 faults=corrupt-start seed=12 \
+     budget=300",
+    "pk-clock n=4 f=1 k=8 coin=none faults=corrupt-start seed=13 budget=300",
+    "coin-stream n=4 f=1 coin=ticket adv=coin-noise:4 faults=none seed=14 budget=30",
+    "coin-stream n=4 f=1 coin=xor adv=recover-equivocator:3 faults=none seed=15 budget=30",
+];
+
+/// Reports are compared with the spec line (which names the wire knob and
+/// therefore legitimately differs) normalized away.
+fn normalized(mut report: RunReport, spec_line: &str) -> RunReport {
+    report.spec = spec_line.to_string();
+    report
+}
+
+fn run_with_wire(line: &str, wire: WireSpec) -> RunReport {
+    let spec = ScenarioSpec::parse(line)
+        .unwrap_or_else(|e| panic!("`{line}`: {e}"))
+        .with_wire(wire);
+    default_registry()
+        .run(&spec)
+        .unwrap_or_else(|e| panic!("`{line}` ({wire:?}): {e}"))
+}
+
+#[test]
+fn every_registered_family_is_covered() {
+    let mut covered: Vec<&str> = FAMILY_LINES
+        .iter()
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let mut names = default_registry().names();
+    names.sort_unstable();
+    assert_eq!(
+        covered,
+        names.iter().map(String::as_str).collect::<Vec<_>>(),
+        "FAMILY_LINES drifted from the registered protocol families"
+    );
+}
+
+#[test]
+fn byte_boundary_reports_are_identical_to_in_memory_reports() {
+    for line in FAMILY_LINES {
+        let fixed = run_with_wire(line, WireSpec::Fixed);
+        let fixed_bytes = run_with_wire(line, WireSpec::FixedBytes);
+        assert_eq!(
+            normalized(fixed_bytes, line),
+            normalized(fixed.clone(), line),
+            "`{line}`: fixed-bytes drifted from in-memory fixed"
+        );
+        let packed = run_with_wire(line, WireSpec::Packed);
+        let packed_bytes = run_with_wire(line, WireSpec::PackedBytes);
+        assert_eq!(
+            normalized(packed_bytes, line),
+            normalized(packed.clone(), line),
+            "`{line}`: packed-bytes drifted from in-memory packed"
+        );
+
+        // The packed format re-prices bytes but must not touch behavior:
+        // everything except the byte counters matches the fixed run.
+        let mut packed_neutral = normalized(packed, line);
+        let fixed_neutral = normalized(fixed, line);
+        packed_neutral.traffic.correct_bytes = fixed_neutral.traffic.correct_bytes;
+        packed_neutral.traffic.byz_bytes = fixed_neutral.traffic.byz_bytes;
+        packed_neutral.traffic.mean_correct_bytes_per_beat =
+            fixed_neutral.traffic.mean_correct_bytes_per_beat;
+        assert_eq!(
+            packed_neutral, fixed_neutral,
+            "`{line}`: the packed format changed more than byte accounting"
+        );
+    }
+}
+
+#[test]
+fn packed_format_shrinks_the_gvss_heavy_families() {
+    // The headline M1 lever: the ticket stack's Row/Echo/Recover matrices.
+    for line in [
+        "clock-sync n=7 f=2 k=64 coin=ticket faults=none seed=1 budget=30",
+        "coin-stream n=7 f=2 coin=ticket faults=none seed=1 budget=30",
+    ] {
+        let fixed = run_with_wire(line, WireSpec::Fixed);
+        let packed = run_with_wire(line, WireSpec::Packed);
+        let ratio =
+            fixed.traffic.mean_correct_bytes_per_beat / packed.traffic.mean_correct_bytes_per_beat;
+        assert!(
+            ratio >= 3.0,
+            "`{line}`: packed must cut bytes/beat at least 3x, got {ratio:.2} \
+             ({:.0} -> {:.0})",
+            fixed.traffic.mean_correct_bytes_per_beat,
+            packed.traffic.mean_correct_bytes_per_beat
+        );
+        assert_eq!(
+            fixed.traffic.correct_msgs, packed.traffic.correct_msgs,
+            "message counts must not change"
+        );
+    }
+}
+
+/// The ticket stack under a storm with phantom replays — the heaviest
+/// traffic shape (stale GVSS matrices resurfacing with arbitrary tags) —
+/// stays identical across the boundary for a spread of seeds.
+#[test]
+fn byte_boundary_identity_survives_storms_and_phantoms() {
+    for seed in 0..3u64 {
+        let line = format!(
+            "clock-sync n=4 f=1 k=16 coin=ticket faults=scramble@15+phantoms@15:40 \
+             seed={seed} budget=150"
+        );
+        for (mem, bytes) in [
+            (WireSpec::Fixed, WireSpec::FixedBytes),
+            (WireSpec::Packed, WireSpec::PackedBytes),
+        ] {
+            let in_memory = run_with_wire(&line, mem);
+            let across_bytes = run_with_wire(&line, bytes);
+            assert_eq!(
+                normalized(across_bytes, &line),
+                normalized(in_memory, &line),
+                "`{line}` drifted across the byte boundary"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Seed-randomized restatement of the identity on the (cheap) oracle
+    /// 2-clock under an active adversary: whatever the seed scrambles,
+    /// serializing and re-parsing every envelope changes nothing.
+    #[test]
+    fn byte_boundary_identity_holds_for_arbitrary_seeds(seed in 0u64..1000) {
+        let line = format!(
+            "two-clock n=7 f=2 coin=oracle adv=split-vote faults=corrupt-start \
+             seed={seed} budget=200"
+        );
+        for (mem, bytes) in [
+            (WireSpec::Fixed, WireSpec::FixedBytes),
+            (WireSpec::Packed, WireSpec::PackedBytes),
+        ] {
+            let in_memory = run_with_wire(&line, mem);
+            let across_bytes = run_with_wire(&line, bytes);
+            prop_assert_eq!(
+                normalized(across_bytes, &line),
+                normalized(in_memory, &line),
+                "`{}` drifted across the byte boundary",
+                line
+            );
+        }
+    }
+}

@@ -1,19 +1,48 @@
-//! Wire-encoding properties across every protocol message type: the
-//! declared `encoded_len` always equals the actual encoding length (the
-//! message-complexity experiment M1 depends on it).
+//! Wire-codec properties across every protocol message type: the declared
+//! lengths always equal the actual encoding length (experiment M1 depends
+//! on it), encode→decode is the identity in **both** formats for arbitrary
+//! — not just honest — values, and no byte string, however hostile, can
+//! panic a decoder (it yields `None` or a shape-valid message).
 
 use bytes::BytesMut;
 use byzclock::alg::{
-    ClockSyncMsg, FourClockMsg, LevelMsg, SharedFourClockMsg, SlotMsg, Trit, TwoClockMsg,
+    ClockSyncMsg, FourClockMsg, LevelMsg, RoundMsg, SharedFourClockMsg, SlotMsg, Trit, TwoClockMsg,
 };
+use byzclock::baselines::{BaMsg, DwMsg};
 use byzclock::coin::CoinMsg;
-use byzclock::sim::Wire;
+use byzclock::sim::{Wire, WireFormat};
 use proptest::prelude::*;
 
 fn actual_len<T: Wire>(v: &T) -> usize {
     let mut buf = BytesMut::new();
     v.encode(&mut buf);
     buf.len()
+}
+
+/// Encode in `format`, assert the declared length, decode back, assert
+/// identity. The workhorse of every round-trip property below.
+fn assert_round_trips<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    for format in [WireFormat::Fixed, WireFormat::Packed] {
+        let mut buf = BytesMut::new();
+        format.encode_into(v, &mut buf);
+        assert_eq!(
+            buf.len(),
+            format.len_of(v),
+            "declared {format:?} length drifted for {v:?}"
+        );
+        let back: T = format
+            .decode_from(buf.as_slice())
+            .unwrap_or_else(|| panic!("{v:?} failed to decode in {format:?}"));
+        assert_eq!(&back, v, "{format:?} round trip changed the value");
+        // Every strict prefix is a truncated message and must fail.
+        for cut in 0..buf.len() {
+            assert!(
+                format.decode_from::<T>(&buf.as_slice()[..cut]).is_none(),
+                "truncation at {cut}/{} must fail for {v:?} ({format:?})",
+                buf.len()
+            );
+        }
+    }
 }
 
 fn trit_strategy() -> impl Strategy<Value = Trit> {
@@ -36,6 +65,39 @@ fn coin_msg_strategy() -> impl Strategy<Value = CoinMsg> {
     )
     .prop_map(|shares| CoinMsg::Recover { shares });
     prop_oneof![rows, echo, vote, recover]
+}
+
+fn ba_msg_strategy() -> impl Strategy<Value = BaMsg> {
+    (
+        0u8..4,
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        any::<bool>(),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(which, v, p, b, bp)| match which {
+            0 => BaMsg::Val(v),
+            1 => BaMsg::Perm(p),
+            2 => BaMsg::Bit(b),
+            _ => BaMsg::BitProp(bp),
+        })
+}
+
+fn clock_sync_msg_strategy() -> impl Strategy<Value = ClockSyncMsg<CoinMsg>> {
+    (
+        0u8..5,
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        trit_strategy(),
+        coin_msg_strategy(),
+    )
+        .prop_map(|(which, v, p, t, coin)| match which {
+            0 => ClockSyncMsg::Four(FourClockMsg::A1(TwoClockMsg::Clock(t))),
+            1 => ClockSyncMsg::Full(v),
+            2 => ClockSyncMsg::Propose(p),
+            3 => ClockSyncMsg::BitVote(v % 2 == 0),
+            _ => ClockSyncMsg::Coin(coin),
+        })
 }
 
 proptest! {
@@ -93,20 +155,101 @@ proptest! {
     }
 
     #[test]
-    fn ba_msg_len(which in 0u8..4, v in any::<u64>(), p in proptest::option::of(any::<u64>()), b in any::<bool>(), bp in proptest::option::of(any::<bool>())) {
-        use byzclock::baselines::BaMsg;
-        let m = match which {
-            0 => BaMsg::Val(v),
-            1 => BaMsg::Perm(p),
-            2 => BaMsg::Bit(b),
-            _ => BaMsg::BitProp(bp),
-        };
+    fn ba_msg_len(m in ba_msg_strategy()) {
         prop_assert_eq!(m.encoded_len(), actual_len(&m));
     }
 
     #[test]
     fn dw_msg_len(v in any::<u64>()) {
-        let m = byzclock::baselines::DwMsg(v);
+        let m = DwMsg(v);
         prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    // --- encode -> decode round trips, both formats, arbitrary values ---
+
+    #[test]
+    fn coin_msg_round_trips(msg in coin_msg_strategy()) {
+        assert_round_trips(&msg);
+    }
+
+    #[test]
+    fn slot_and_round_tagged_coin_msgs_round_trip(tag in any::<u8>(), msg in coin_msg_strategy()) {
+        assert_round_trips(&SlotMsg { slot: tag, msg: msg.clone() });
+        assert_round_trips(&RoundMsg { round: tag, msg });
+    }
+
+    #[test]
+    fn two_and_four_clock_msgs_round_trip(t in trit_strategy(), coin in coin_msg_strategy(), which in 0u8..4) {
+        let two: TwoClockMsg<CoinMsg> = match which % 2 {
+            0 => TwoClockMsg::Clock(t),
+            _ => TwoClockMsg::Coin(coin),
+        };
+        assert_round_trips(&two);
+        let four = if which < 2 { FourClockMsg::A1(two) } else { FourClockMsg::A2(two) };
+        assert_round_trips(&four);
+    }
+
+    #[test]
+    fn shared_four_clock_msgs_round_trip(t in trit_strategy(), coin in coin_msg_strategy(), which in 0u8..3) {
+        let m: SharedFourClockMsg<CoinMsg> = match which {
+            0 => SharedFourClockMsg::A1Vote(t),
+            1 => SharedFourClockMsg::A2Vote(t),
+            _ => SharedFourClockMsg::Coin(coin),
+        };
+        assert_round_trips(&m);
+    }
+
+    #[test]
+    fn clock_sync_msgs_round_trip(m in clock_sync_msg_strategy()) {
+        assert_round_trips(&m);
+    }
+
+    #[test]
+    fn level_msgs_round_trip(level in any::<u8>(), t in trit_strategy()) {
+        assert_round_trips(&LevelMsg { level, msg: TwoClockMsg::<u64>::Clock(t) });
+    }
+
+    #[test]
+    fn baseline_msgs_round_trip(m in ba_msg_strategy(), slot in any::<u8>(), v in any::<u64>()) {
+        assert_round_trips(&m);
+        assert_round_trips(&SlotMsg { slot, msg: m });
+        assert_round_trips(&DwMsg(v));
+    }
+
+    #[test]
+    fn bd_clock_msgs_round_trip(round in any::<u8>()) {
+        assert_round_trips(&RoundMsg { round, msg: () });
+    }
+
+    // --- fuzz: hostile bytes never panic a decoder ---
+
+    #[test]
+    fn garbage_bytes_never_panic_any_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        for format in [WireFormat::Fixed, WireFormat::Packed] {
+            let _ = format.decode_from::<CoinMsg>(&bytes);
+            let _ = format.decode_from::<SlotMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<RoundMsg<()>>(&bytes);
+            let _ = format.decode_from::<TwoClockMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<FourClockMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<SharedFourClockMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<ClockSyncMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<LevelMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<BaMsg>(&bytes);
+            let _ = format.decode_from::<DwMsg>(&bytes);
+            let _ = format.decode_from::<Trit>(&bytes);
+        }
+    }
+
+    /// Decoded garbage, when it *does* parse, is shape-valid: re-encoding
+    /// it round-trips (the decoder never fabricates unencodable values).
+    #[test]
+    fn parsed_garbage_is_shape_valid(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        for format in [WireFormat::Fixed, WireFormat::Packed] {
+            if let Some(msg) = format.decode_from::<CoinMsg>(&bytes) {
+                let mut buf = BytesMut::new();
+                format.encode_into(&msg, &mut buf);
+                prop_assert_eq!(format.decode_from::<CoinMsg>(buf.as_slice()), Some(msg));
+            }
+        }
     }
 }
