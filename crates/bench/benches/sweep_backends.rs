@@ -1,0 +1,99 @@
+//! Sweep throughput, thread backend vs process backend, on a beat-shaped
+//! grid (specs whose cost is dominated by simulating beats, like the
+//! d1/d2 rows) — the number that says when `--backend=procs:N` is worth
+//! its coordinator: the per-spec overhead of shipping a spec line out to
+//! a worker subprocess and a report line back.
+//!
+//! Besides the criterion timings, the bench prints a one-shot comparison
+//! up front: specs/sec under each backend and the implied coordinator
+//! overhead per spec (process-backend time minus thread-backend time,
+//! divided by the grid size). On a beat-shaped grid the overhead should
+//! be small against the several-ms cost of a spec; it is pure protocol
+//! cost (spawn amortized away, one line each way per spec), so it shrinks
+//! relative to spec cost as budgets grow.
+
+use byzclock::scenario::{default_registry, CoinSpec, ProtocolRegistry, ScenarioSpec};
+use byzclock_bench::{sweep_specs, SweepBackend, SweepOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+/// The worker command: the `experiments` binary in `worker` mode (cargo
+/// exports the path for this crate's benches, like its tests).
+fn worker_opts() -> SweepOptions {
+    SweepOptions {
+        worker: vec![
+            env!("CARGO_BIN_EXE_experiments").to_string(),
+            "worker".to_string(),
+        ],
+        ..SweepOptions::default()
+    }
+}
+
+/// A beat-shaped grid: every spec simulates a few hundred beats, the
+/// shape the d1/d2 delay grids fan out.
+fn beat_grid(len: usize) -> Vec<ScenarioSpec> {
+    (0..len)
+        .map(|i| {
+            ScenarioSpec::new("two-clock", 7, 2)
+                .with_coin(CoinSpec::perfect_oracle())
+                .with_delay((i % 3) as u64)
+                .with_seed(i as u64)
+                .with_budget(400)
+        })
+        .collect()
+}
+
+fn run(registry: &ProtocolRegistry, specs: &[ScenarioSpec], backend: SweepBackend) {
+    let opts = match backend {
+        SweepBackend::Threads(_) => SweepOptions::default(),
+        SweepBackend::Processes { .. } => worker_opts(),
+    };
+    for r in sweep_specs(registry, specs, backend, &opts) {
+        r.expect("bench specs run");
+    }
+}
+
+/// One-shot specs/sec comparison and the coordinator-overhead headline.
+fn print_overhead(registry: &ProtocolRegistry, specs: &[ScenarioSpec]) {
+    let time = |backend: SweepBackend| {
+        let start = Instant::now();
+        run(registry, specs, backend);
+        start.elapsed()
+    };
+    let threads = time(SweepBackend::Threads(2));
+    let procs = time(SweepBackend::Processes { workers: 2 });
+    let rate = |d: std::time::Duration| specs.len() as f64 / d.as_secs_f64();
+    let overhead_us =
+        (procs.as_secs_f64() - threads.as_secs_f64()).max(0.0) * 1e6 / specs.len() as f64;
+    println!(
+        "sweep_backends: {} specs | threads:2 {:.1} specs/s | procs:2 {:.1} specs/s | \
+         coordinator overhead ~{overhead_us:.0} us/spec",
+        specs.len(),
+        rate(threads),
+        rate(procs),
+    );
+}
+
+fn bench_sweep_backends(c: &mut Criterion) {
+    let registry = default_registry();
+    let specs = beat_grid(12);
+    print_overhead(&registry, &specs);
+    let mut group = c.benchmark_group("sweep_backends");
+    group.sample_size(10);
+    for workers in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", workers),
+            &workers,
+            |b, &workers| b.iter(|| run(&registry, &specs, SweepBackend::Threads(workers))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("procs", workers),
+            &workers,
+            |b, &workers| b.iter(|| run(&registry, &specs, SweepBackend::Processes { workers })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_backends);
+criterion_main!(benches);

@@ -2,38 +2,86 @@
 //!
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] [--backend=threads[:N]|procs[:N]] [--manifest=FILE] \
 //!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|d2|all]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     worker [--exact]
 //! ```
 //!
-//! The full reference for the subcommands, `--jsonl`, the environment
-//! knobs, and the offline compat-stub story lives in one place: the
-//! `byzclock-bench` crate docs (`crates/bench/src/lib.rs`), mirrored in
-//! ARCHITECTURE.md's appendix. In short: every run is constructed through
-//! the scenario API — a [`ScenarioSpec`] resolved by the default
-//! [`ProtocolRegistry`] — so each table cell is a replayable one-line
-//! spec (pass one back with `spec` to rerun a single point).
+//! The full reference for the subcommands, `--jsonl`, `--backend` /
+//! `--manifest`, the `worker` mode, the environment knobs, and the
+//! offline compat-stub story lives in one place: the `byzclock-bench`
+//! crate docs (`crates/bench/src/lib.rs`), mirrored in ARCHITECTURE.md's
+//! appendix. In short: every run is constructed through the scenario API
+//! — a [`ScenarioSpec`] resolved by the default [`ProtocolRegistry`] — so
+//! each table cell is a replayable one-line spec (pass one back with
+//! `spec` to rerun a single point).
 
 use byzclock::scenario::{
     default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolRegistry,
     RunReport, ScenarioSpec, WireSpec,
 };
-use byzclock_bench::{default_threads, md_table, parallel_trials, sweep, trials, Summary};
+use byzclock_bench::shard::{worker_exact_requested, worker_loop};
+use byzclock_bench::{
+    default_threads, md_table, parallel_trials, sweep_specs, trials, Summary, SweepBackend,
+    SweepOptions,
+};
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = args.iter().any(|a| a == "--jsonl");
-    args.retain(|a| a != "--jsonl");
+    let mut jsonl = false;
+    let mut backend = SweepBackend::Threads(default_threads());
+    let mut backend_given = false;
+    let mut manifest: Option<PathBuf> = None;
+    let mut args: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--jsonl" {
+            jsonl = true;
+        } else if let Some(v) = arg.strip_prefix("--backend=") {
+            backend = SweepBackend::parse(v).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            backend_given = true;
+        } else if let Some(v) = arg.strip_prefix("--manifest=") {
+            manifest = Some(PathBuf::from(v));
+        } else {
+            args.push(arg);
+        }
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
+    if which == "worker" {
+        // The worker half of the process-sharded sweep: spec lines on
+        // stdin, one report-JSON line per spec on stdout (see the
+        // `byzclock_bench::shard` module docs for the protocol).
+        let exact = worker_exact_requested(&args[1..]);
+        let registry = default_registry();
+        if let Err(e) = worker_loop(
+            &registry,
+            exact,
+            std::io::stdin().lock(),
+            std::io::stdout().lock(),
+        ) {
+            eprintln!("worker i/o error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let sweep_based = matches!(which, "d1" | "d2" | "m1");
+    if (backend_given || manifest.is_some()) && !sweep_based {
+        eprintln!("--backend/--manifest apply to the sweep-based `d1`/`d2`/`m1` grids only");
+        std::process::exit(2);
+    }
     if which == "spec" {
         run_spec_lines(&args[1..]);
         return;
     }
-    if jsonl && which != "d1" && which != "d2" {
+    if jsonl && !sweep_based {
         // The hand-aggregated paper tables have no JSONL form; refusing
         // beats silently mixing Markdown and JSON on one stream.
-        eprintln!("--jsonl applies to `spec` and the sweep-based `d1`/`d2` grids only");
+        eprintln!("--jsonl applies to `spec` and the sweep-based `d1`/`d2`/`m1` grids only");
         std::process::exit(2);
     }
     let run_all = which == "all";
@@ -72,14 +120,41 @@ fn main() {
     if run_all || which == "s1" {
         s1_self_stabilization();
     }
+    let grid = GridOutput {
+        jsonl,
+        backend,
+        manifest: manifest.as_deref(),
+    };
     if run_all || which == "m1" {
-        m1_message_complexity();
+        m1_message_complexity(grid);
     }
     if run_all || which == "d1" {
-        d1_bounded_delay_grid(jsonl);
+        d1_bounded_delay_grid(grid);
     }
     if run_all || which == "d2" {
-        d2_delay_tolerance_grid(jsonl);
+        d2_delay_tolerance_grid(grid);
+    }
+}
+
+/// Output format and execution backend shared by the sweep-based grids
+/// (`d1`/`d2`/`m1`) — the flags that select them travel together.
+#[derive(Clone, Copy)]
+struct GridOutput<'a> {
+    jsonl: bool,
+    backend: SweepBackend,
+    manifest: Option<&'a Path>,
+}
+
+impl GridOutput<'_> {
+    /// Builds the [`SweepOptions`] every sweep-based grid shares: the
+    /// worker command defaults to re-execing this very binary in `worker`
+    /// mode.
+    fn sweep_options(&self, exact: bool) -> SweepOptions {
+        SweepOptions {
+            manifest: self.manifest.map(Path::to_path_buf),
+            exact,
+            ..SweepOptions::default()
+        }
     }
 }
 
@@ -637,14 +712,7 @@ fn s1_self_stabilization() {
 // M1: message complexity
 // ---------------------------------------------------------------------------
 
-fn m1_message_complexity() {
-    println!("## M1 — message complexity per beat (correct senders, k = 64)\n");
-    println!(
-        "Cells: msgs / fixed-wire bytes / packed-wire bytes (packed gain).\n\
-         The packed format prices field elements at their minimal width and\n\
-         presence vectors as bitsets (`wire=packed`); message counts and\n\
-         protocol behavior are identical between the two encodings.\n"
-    );
+fn m1_message_complexity(grid: GridOutput<'_>) {
     let registry = default_registry();
     let columns: [(&str, &str, CoinSpec); 4] = [
         ("ClockSync (GVSS ticket)", "clock-sync", CoinSpec::Ticket),
@@ -652,10 +720,13 @@ fn m1_message_complexity() {
         ("PkClock (O(f) pipeline)", "pk-clock", CoinSpec::None),
         ("DwClock", "dw-clock", CoinSpec::Local),
     ];
-    let mut rows = Vec::new();
-    for &n in &[4usize, 7, 10, 13] {
+    // One flat grid in cell order — per n, per column: the fixed-wire
+    // spec then its packed-wire twin. Every cell is a full-budget
+    // (steady-state) run, so the sweep carries `exact`.
+    let ns = [4usize, 7, 10, 13];
+    let mut specs = Vec::new();
+    for &n in &ns {
         let f = (n - 1) / 3;
-        let mut cells = vec![format!("n={n}, f={f}")];
         for (_, protocol, coin) in &columns {
             let spec = ScenarioSpec::new(*protocol, n, f)
                 .with_modulus(64)
@@ -663,8 +734,44 @@ fn m1_message_complexity() {
                 .with_faults(FaultPlanSpec::none())
                 .with_seed(1)
                 .with_budget(50);
-            let fixed = exact(&registry, &spec).traffic;
-            let packed = exact(&registry, &spec.clone().with_wire(WireSpec::Packed)).traffic;
+            specs.push(spec.clone());
+            specs.push(spec.with_wire(WireSpec::Packed));
+        }
+    }
+    let reports = sweep_specs(&registry, &specs, grid.backend, &grid.sweep_options(true));
+
+    if grid.jsonl {
+        for (spec, report) in specs.iter().zip(&reports) {
+            match report {
+                Ok(r) => println!("{}", r.to_json()),
+                Err(e) => {
+                    eprintln!("spec `{spec}` failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    println!("## M1 — message complexity per beat (correct senders, k = 64)\n");
+    println!(
+        "Cells: msgs / fixed-wire bytes / packed-wire bytes (packed gain).\n\
+         The packed format prices field elements at their minimal width and\n\
+         presence vectors as bitsets (`wire=packed`); message counts and\n\
+         protocol behavior are identical between the two encodings.\n"
+    );
+    let mut rows = Vec::new();
+    let mut cells_iter = reports.chunks(2);
+    for &n in &ns {
+        let f = (n - 1) / 3;
+        let mut cells = vec![format!("n={n}, f={f}")];
+        for _ in &columns {
+            let pair = cells_iter.next().expect("grid shape");
+            let [fixed, packed] = [&pair[0], &pair[1]].map(|r| {
+                &r.as_ref()
+                    .unwrap_or_else(|e| panic!("m1 spec failed: {e}"))
+                    .traffic
+            });
             cells.push(format!(
                 "{:.0} / {:.0} / {:.0} ({:.1}x)",
                 fixed.mean_correct_msgs_per_beat,
@@ -696,7 +803,7 @@ fn m1_message_complexity() {
 /// per-cell extras (D1: mean message delay; D2: the quorum/timeout
 /// advancement split).
 fn delay_grid(
-    jsonl: bool,
+    grid: GridOutput<'_>,
     name: &str,
     heading: &str,
     intro: &str,
@@ -721,9 +828,9 @@ fn delay_grid(
             }
         }
     }
-    let reports = sweep(&registry, &specs, default_threads());
+    let reports = sweep_specs(&registry, &specs, grid.backend, &grid.sweep_options(false));
 
-    if jsonl {
+    if grid.jsonl {
         // A missing grid point must not masquerade as a complete archive:
         // fail loudly, matching the Markdown path's panic on the same
         // error.
@@ -785,7 +892,7 @@ fn delay_grid(
 /// rows of Table 1 turned into runnable scenarios. Built on
 /// [`byzclock_bench::sweep`]; `--jsonl` dumps every report as one JSON
 /// line instead of the aggregated table.
-fn d1_bounded_delay_grid(jsonl: bool) {
+fn d1_bounded_delay_grid(grid: GridOutput<'_>) {
     let horizon = 10_000u64;
     let rows = [
         (
@@ -814,7 +921,7 @@ fn d1_bounded_delay_grid(jsonl: bool) {
         ),
     ];
     delay_grid(
-        jsonl,
+        grid,
         "d1",
         "## D1 — \u{a7}6.3 bounded-delay grid: convergence vs delivery window",
         "delay=0 is the paper's lockstep beat; delay=d delivers each correct\n\
@@ -848,7 +955,7 @@ fn d1_bounded_delay_grid(jsonl: bool) {
 /// showing how its progress splits between quorum ticks and
 /// timeout-driven merge events. Built on [`byzclock_bench::sweep`];
 /// `--jsonl` dumps every report as one JSON line.
-fn d2_delay_tolerance_grid(jsonl: bool) {
+fn d2_delay_tolerance_grid(grid: GridOutput<'_>) {
     let horizon = 10_000u64;
     let rows = [
         (
@@ -885,7 +992,7 @@ fn d2_delay_tolerance_grid(jsonl: bool) {
         ),
     ];
     delay_grid(
-        jsonl,
+        grid,
         "d2",
         "## D2 — delay tolerance: bd-clock closes the d1 grid gap",
         "Same sweep as D1 (corrupted starts, mean beats (p95) over trials),\n\
@@ -912,7 +1019,7 @@ fn d2_delay_tolerance_grid(jsonl: bool) {
             }
         },
     );
-    if !jsonl {
+    if !grid.jsonl {
         println!(
             "Rerun any cell:\n  cargo run --release -p byzclock-bench --bin experiments -- spec \\\n    \"{}\"\n",
             rows[2].1.clone().with_delay(2).with_seed(0)

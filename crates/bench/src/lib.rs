@@ -11,9 +11,12 @@
 //!
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] [--backend=threads[:N]|procs[:N]] [--manifest=FILE] \
 //!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|d2|all]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     worker [--exact]
 //! ```
 //!
 //! **Named grids.** Each name regenerates one table or figure of the
@@ -35,9 +38,23 @@
 //!
 //! **`--jsonl`.** Switches output to one stable-keyed JSON line per
 //! executed spec (diffable, archivable). It applies to `spec` and to the
-//! sweep-based `d1`/`d2` grids; the hand-aggregated paper tables always
-//! render Markdown, and the binary exits with an error rather than mixing
-//! formats on one stream.
+//! sweep-based `d1`/`d2`/`m1` grids; the hand-aggregated paper tables
+//! always render Markdown, and the binary exits with an error rather than
+//! mixing formats on one stream.
+//!
+//! **`--backend` and `--manifest`.** The sweep-based grids
+//! (`d1`/`d2`/`m1`) accept `--backend=threads[:N]` (the default: a
+//! thread pool in this process) or `--backend=procs[:N]` (N worker
+//! subprocesses, each an `experiments worker` re-exec — see
+//! [`shard`]). Output is byte-identical across backends.
+//! `--manifest=FILE` makes the sweep resumable: completed reports are
+//! appended to `FILE` as they land and served from it on restart.
+//!
+//! **`worker` subcommand.** The worker half of the process backend:
+//! reads canonical spec lines on stdin, writes one `RunReport::to_json`
+//! (or `{"error":…}`) line per spec on stdout, exits on EOF. `--exact`
+//! (or `BYZCLOCK_WORKER_EXACT=1`, which the coordinator exports) runs
+//! each spec's full beat budget instead of stopping at stable sync.
 //!
 //! **Environment knobs.** `BYZCLOCK_TRIALS` scales every grid's trial
 //! count ([`trials`]); `BYZCLOCK_THREADS` caps the worker pool
@@ -88,6 +105,10 @@
 
 use byzclock::scenario::{ProtocolRegistry, RunReport, ScenarioError, ScenarioSpec};
 use std::fmt::Write as _;
+
+pub mod shard;
+
+pub use shard::{sweep_specs, SweepBackend, SweepOptions, SweepResult};
 
 /// Summary statistics over convergence-time samples; `None` samples are
 /// timeouts at the experiment's horizon.
@@ -158,18 +179,28 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let threads = threads.max(1);
-    let chunk_size = (trials as usize / threads).max(1) + 1;
+    // Balanced chunking: sizes differ by at most one, so every thread
+    // receives work whenever `trials >= threads` (e.g. 17 trials over 4
+    // threads is 5+4+4+4, not 5+5+5+2).
+    let threads = threads.max(1).min((trials as usize).max(1));
+    let base = trials as usize / threads;
+    let extra = trials as usize % threads;
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (chunk_idx, chunk) in results.chunks_mut(chunk_size).enumerate() {
+        let mut rest: &mut [Option<T>] = &mut results;
+        let mut start = 0u64;
+        for t in 0..threads {
+            let size = base + usize::from(t < extra);
+            let (chunk, tail) = rest.split_at_mut(size);
+            rest = tail;
             let run = &run;
-            let base = (chunk_idx * chunk_size) as u64;
+            let first = start;
             scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(run(base + i as u64));
+                    *slot = Some(run(first + i as u64));
                 }
             });
+            start += size as u64;
         }
     });
     results
@@ -257,6 +288,31 @@ mod tests {
     fn parallel_trials_are_seed_ordered() {
         let out = parallel_trials(17, 4, |seed| seed * 2);
         assert_eq!(out, (0..17).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_trials_chunks_are_balanced_and_feed_every_thread() {
+        // Every spawned thread must receive work whenever
+        // trials >= threads, and chunk sizes may differ by at most one.
+        for (trials, threads) in [(17u64, 4usize), (16, 4), (4, 4), (5, 4), (100, 7), (3, 8)] {
+            let ids = parallel_trials(trials, threads, |_| std::thread::current().id());
+            let mut counts = std::collections::HashMap::new();
+            for id in &ids {
+                *counts.entry(*id).or_insert(0usize) += 1;
+            }
+            let expected_workers = threads.min(trials as usize);
+            assert_eq!(
+                counts.len(),
+                expected_workers,
+                "{trials} trials / {threads} threads left a worker idle"
+            );
+            let min = counts.values().min().copied().unwrap();
+            let max = counts.values().max().copied().unwrap();
+            assert!(
+                max - min <= 1,
+                "{trials} trials / {threads} threads unbalanced: {min}..{max}"
+            );
+        }
     }
 
     #[test]

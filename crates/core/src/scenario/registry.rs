@@ -33,6 +33,11 @@ pub enum ScenarioError {
     InvalidSpec(String),
     /// The spec line could not be parsed.
     Parse(String),
+    /// A sweep backend could not produce this spec's report (worker
+    /// process death, malformed worker output, or a per-spec timeout) —
+    /// the transport-level failure class of a sharded sweep, as opposed
+    /// to the spec-level errors above.
+    Sweep(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -62,6 +67,7 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidSpec(msg) => write!(f, "invalid scenario spec: {msg}"),
             ScenarioError::Parse(msg) => write!(f, "scenario spec parse error: {msg}"),
+            ScenarioError::Sweep(msg) => write!(f, "sweep backend error: {msg}"),
         }
     }
 }

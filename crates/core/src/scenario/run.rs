@@ -291,6 +291,330 @@ impl RunReport {
         s.push_str("}}");
         s
     }
+
+    /// Parses a [`RunReport::to_json`] line back into a report — the
+    /// decode half of the report codec, for sweep workers streaming
+    /// reports across a process boundary and for resumable sweep
+    /// manifests. Defensive like `Wire::decode`: malformed, truncated, or
+    /// forged input yields `None`, never a panic.
+    ///
+    /// Floats travel at `to_json`'s decimal precision (3 places for the
+    /// traffic means, 6 for extras), so `from_json` is not an exact
+    /// inverse of the in-memory report — but it *is* exact at the JSON
+    /// level: `r.to_json() == RunReport::from_json(&r.to_json())?.to_json()`
+    /// always holds (pinned by a unit test below), which is what makes a
+    /// process-sharded sweep's JSONL output byte-identical to an
+    /// in-process one.
+    pub fn from_json(s: &str) -> Option<RunReport> {
+        let v = json::parse(s.trim())?;
+        let opt_u64 = |v: &json::Value| match v {
+            json::Value::Null => Some(None),
+            other => other.as_u64().map(Some),
+        };
+        let t = v.get("traffic")?;
+        Some(RunReport {
+            spec: v.get("spec")?.as_str()?.to_string(),
+            beats: v.get("beats")?.as_u64()?,
+            converged_at: opt_u64(v.get("converged_at")?)?,
+            measured_from: v.get("measured_from")?.as_u64()?,
+            final_clocks: v
+                .get("final_clocks")?
+                .as_arr()?
+                .iter()
+                .map(opt_u64)
+                .collect::<Option<Vec<_>>>()?,
+            final_streak: v.get("final_streak")?.as_u64()?,
+            traffic: TrafficSummary {
+                correct_msgs: t.get("correct_msgs")?.as_u64()?,
+                correct_bytes: t.get("correct_bytes")?.as_u64()?,
+                byz_msgs: t.get("byz_msgs")?.as_u64()?,
+                byz_bytes: t.get("byz_bytes")?.as_u64()?,
+                forged_dropped: t.get("forged_dropped")?.as_u64()?,
+                phantom_msgs: t.get("phantom_msgs")?.as_u64()?,
+                mean_correct_msgs_per_beat: t.get("mean_correct_msgs_per_beat")?.as_f64()?,
+                mean_correct_bytes_per_beat: t.get("mean_correct_bytes_per_beat")?.as_f64()?,
+            },
+            extras: v
+                .get("extras")?
+                .as_obj()?
+                .iter()
+                .map(|(k, val)| val.as_f64().map(|f| (k.clone(), f)))
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// A minimal recursive-descent JSON reader for the report codec.
+///
+/// Scope-matched to what [`RunReport::to_json`] emits (the workspace has
+/// no serde): objects keep key order, numbers stay as their source text
+/// so `u64` fields never round through `f64`, and the non-standard float
+/// tokens `to_json` can produce (`NaN`, `inf`, `-inf` — Rust's `{:.6}`
+/// renderings) are accepted. Anything else malformed parses to `None`.
+mod json {
+    /// One parsed JSON value.
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// A number, kept as its source text.
+        Num(String),
+        /// A string, unescaped.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source key order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one complete JSON value; trailing garbage fails the parse.
+    pub fn parse(s: &str) -> Option<Value> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+            depth: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i == p.b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+        depth: u32,
+    }
+
+    /// Forged input cannot allocate unbounded recursion frames.
+    const MAX_DEPTH: u32 = 64;
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Option<()> {
+            self.ws();
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn lit(&mut self, word: &str) -> Option<()> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        fn value(&mut self) -> Option<Value> {
+            if self.depth >= MAX_DEPTH {
+                return None;
+            }
+            self.depth += 1;
+            self.ws();
+            let v = match self.b.get(self.i)? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => self.string().map(Value::Str),
+                b'n' => self.lit("null").map(|()| Value::Null),
+                _ => self.number(),
+            };
+            self.depth -= 1;
+            v
+        }
+
+        fn object(&mut self) -> Option<Value> {
+            self.eat(b'{')?;
+            let mut pairs = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Some(Value::Obj(pairs));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.eat(b':')?;
+                pairs.push((key, self.value()?));
+                self.ws();
+                match self.b.get(self.i)? {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Some(Value::Obj(pairs));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+
+        fn array(&mut self) -> Option<Value> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Some(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.b.get(self.i)? {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Some(Value::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+
+        /// Strings are produced by `{:?}` on the encode side, so both the
+        /// JSON escapes and Rust's `\u{…}` form are accepted.
+        fn string(&mut self) -> Option<String> {
+            if self.b.get(self.i) != Some(&b'"') {
+                return None;
+            }
+            self.i += 1;
+            let mut out = Vec::new();
+            loop {
+                match *self.b.get(self.i)? {
+                    b'"' => {
+                        self.i += 1;
+                        return String::from_utf8(out).ok();
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        match *self.b.get(self.i)? {
+                            c @ (b'"' | b'\\' | b'/' | b'\'') => {
+                                out.push(c);
+                                self.i += 1;
+                            }
+                            b'n' => {
+                                out.push(b'\n');
+                                self.i += 1;
+                            }
+                            b't' => {
+                                out.push(b'\t');
+                                self.i += 1;
+                            }
+                            b'r' => {
+                                out.push(b'\r');
+                                self.i += 1;
+                            }
+                            b'0' => {
+                                out.push(0);
+                                self.i += 1;
+                            }
+                            b'u' => {
+                                self.i += 1;
+                                let c = self.unicode_escape()?;
+                                let mut buf = [0u8; 4];
+                                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                            }
+                            _ => return None,
+                        }
+                    }
+                    c => {
+                        out.push(c);
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+
+        fn unicode_escape(&mut self) -> Option<char> {
+            let hex = if self.b.get(self.i) == Some(&b'{') {
+                // Rust-style \u{…}.
+                self.i += 1;
+                let start = self.i;
+                while self.b.get(self.i)? != &b'}' {
+                    self.i += 1;
+                }
+                let hex = &self.b[start..self.i];
+                self.i += 1; // closing brace
+                hex
+            } else {
+                // JSON-style \uXXXX (surrogate pairs unsupported).
+                let start = self.i;
+                self.i = self.i.checked_add(4)?;
+                self.b.get(start..self.i)?
+            };
+            let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+            char::from_u32(code)
+        }
+
+        fn number(&mut self) -> Option<Value> {
+            let start = self.i;
+            while matches!(
+                self.b.get(self.i),
+                Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'+' | b'-' | b'.')
+            ) {
+                self.i += 1;
+            }
+            let tok = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+            // Rust's f64 parser already accepts `inf`, `-inf`, and `NaN` —
+            // exactly the non-standard tokens `{:.6}` can emit.
+            tok.parse::<f64>().ok()?;
+            Some(Value::Num(tok.to_string()))
+        }
+    }
 }
 
 /// Drives a started run to completion and reports.
@@ -354,5 +678,111 @@ fn drive_impl(
         final_streak,
         traffic: TrafficSummary::of(run.traffic()),
         extras: run.extras(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            spec: "clock-sync n=7 f=2 k=64 coin=ticket adv=silent faults=corrupt-start \
+                   seed=3 budget=3000"
+                .to_string(),
+            beats: 41,
+            converged_at: Some(33),
+            measured_from: 0,
+            final_clocks: vec![Some(5), None, Some(5), Some(5), Some(5)],
+            final_streak: 8,
+            traffic: TrafficSummary {
+                correct_msgs: 12_345,
+                correct_bytes: 987_654_321,
+                byz_msgs: 17,
+                byz_bytes: 2_048,
+                forged_dropped: 3,
+                phantom_msgs: 100,
+                mean_correct_msgs_per_beat: 301.097,
+                mean_correct_bytes_per_beat: 61_408.333,
+            },
+            extras: vec![
+                ("p0".to_string(), 0.718_281),
+                ("delay_hist_0".to_string(), 120.0),
+                ("weird".to_string(), f64::NAN),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_field_for_field() {
+        let report = sample_report();
+        let parsed = RunReport::from_json(&report.to_json()).expect("own output parses");
+        assert_eq!(parsed.spec, report.spec);
+        assert_eq!(parsed.beats, report.beats);
+        assert_eq!(parsed.converged_at, report.converged_at);
+        assert_eq!(parsed.measured_from, report.measured_from);
+        assert_eq!(parsed.final_clocks, report.final_clocks);
+        assert_eq!(parsed.final_streak, report.final_streak);
+        assert_eq!(parsed.traffic, report.traffic);
+        // NaN breaks plain Vec equality; compare keys and finite values.
+        assert_eq!(parsed.extras.len(), report.extras.len());
+        for ((ka, va), (kb, vb)) in parsed.extras.iter().zip(&report.extras) {
+            assert_eq!(ka, kb);
+            assert!(va == vb || (va.is_nan() && vb.is_nan()));
+        }
+    }
+
+    #[test]
+    fn report_json_round_trip_is_identity_at_the_json_level() {
+        // The property the process-sharded sweep backend stands on: a
+        // report that crossed the JSONL boundary re-serializes to the
+        // byte-identical line.
+        let json = sample_report().to_json();
+        let reparsed = RunReport::from_json(&json).expect("parses");
+        assert_eq!(reparsed.to_json(), json);
+        // And again, to pin idempotence rather than one lucky round.
+        assert_eq!(
+            RunReport::from_json(&reparsed.to_json()).unwrap().to_json(),
+            json
+        );
+    }
+
+    #[test]
+    fn unconverged_and_extra_less_reports_round_trip() {
+        let mut report = sample_report();
+        report.converged_at = None;
+        report.extras.clear();
+        report.final_clocks = vec![None, None];
+        let json = report.to_json();
+        assert!(json.contains("\"converged_at\":null"));
+        assert_eq!(RunReport::from_json(&json).unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn malformed_report_json_is_rejected_not_panicked() {
+        let json = sample_report().to_json();
+        // Every strict prefix is truncated input; none may parse or panic.
+        for cut in 0..json.len() {
+            assert!(
+                RunReport::from_json(&json[..cut]).is_none(),
+                "truncation at {cut} parsed"
+            );
+        }
+        for garbage in [
+            "",
+            "not json at all",
+            "{}",
+            "{\"spec\":3}",
+            "[1,2,3]",
+            "{\"spec\":\"x\",\"beats\":-1}",
+            "{\"spec\":\"unterminated",
+        ] {
+            assert!(
+                RunReport::from_json(garbage).is_none(),
+                "`{garbage}` parsed"
+            );
+        }
+        // Trailing garbage after a valid report is forgery, not noise.
+        assert!(RunReport::from_json(&format!("{json}x")).is_none());
     }
 }
