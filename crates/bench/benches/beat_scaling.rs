@@ -1,0 +1,92 @@
+//! Prices one steady-state beat of the GVSS ticket coin as the cluster
+//! grows — the wall-clock side of the M2 grid, at the `Simulation::step`
+//! seam (no scenario wrapper, no wire accounting). Compare runs of this
+//! bench across commits to price the workspace-reuse change; within a
+//! run, the setup asserts the zero-alloc contract the `metrics=alloc`
+//! counters expose: once the pipeline is warm, stepping builds no new
+//! share storage and no new Berlekamp–Welch decoder — every beat runs on
+//! recycled buffers.
+
+use byzclock_coin::{CoinApp, TicketCoinScheme};
+use byzclock_sim::{SilentAdversary, SimBuilder, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+type CoinSim = Simulation<CoinApp<TicketCoinScheme>, SilentAdversary>;
+
+fn coin_sim(n: usize, f: usize) -> CoinSim {
+    let mut sim = SimBuilder::new(n, f).seed(1).build(
+        |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
+        SilentAdversary,
+    );
+    sim.run_beats(6); // warm past the 4-beat pipeline depth: retired
+                      // storages populate the pool, decoders the cache
+    sim
+}
+
+/// Cluster sizes to price (`BYZCLOCK_BEAT_SCALING_NS`, default
+/// `13,64,128`). The n=128 cell moves gigabytes of in-flight GVSS
+/// traffic per beat — minutes on one core — so constrained machines can
+/// trim the list without editing the bench.
+fn sizes() -> Vec<usize> {
+    std::env::var("BYZCLOCK_BEAT_SCALING_NS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("BYZCLOCK_BEAT_SCALING_NS: bad n"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![13, 64, 128])
+}
+
+/// Sums one `metrics=alloc` counter across all correct nodes.
+fn alloc_counter(sim: &CoinSim, key: &str) -> f64 {
+    sim.correct_apps()
+        .map(|(_, app)| {
+            app.coin_metrics()
+                .into_iter()
+                .find_map(|(k, v)| (k == key).then_some(v))
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// A warm pipeline steps allocation-free in the GVSS path: the storage
+/// and decoder build counters must not move across steady-state beats
+/// (reuse counters keep climbing — the beats do run).
+fn assert_steady_state_is_zero_alloc(sim: &mut CoinSim, n: usize) {
+    let builds = alloc_counter(sim, "alloc_storage_builds");
+    let decoders = alloc_counter(sim, "alloc_decoder_builds");
+    let reuses = alloc_counter(sim, "alloc_storage_reuses");
+    sim.run_beats(3);
+    assert_eq!(
+        alloc_counter(sim, "alloc_storage_builds"),
+        builds,
+        "n={n}: steady-state beats built new GVSS storage"
+    );
+    assert_eq!(
+        alloc_counter(sim, "alloc_decoder_builds"),
+        decoders,
+        "n={n}: steady-state beats built new decoders"
+    );
+    assert!(
+        alloc_counter(sim, "alloc_storage_reuses") > reuses,
+        "n={n}: steady-state beats did not exercise the reuse path"
+    );
+}
+
+fn bench_beat_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beat_scaling");
+    group.sample_size(10);
+    for n in sizes() {
+        let f = (n - 1) / 3;
+        let mut sim = coin_sim(n, f);
+        assert_steady_state_is_zero_alloc(&mut sim, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beat_scaling);
+criterion_main!(benches);

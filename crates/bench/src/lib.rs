@@ -12,7 +12,7 @@
 //! ```text
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] [--backend=threads[:N]|procs[:N]] [--manifest=FILE] \
-//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|d1|d2|all]
+//!     [t1|f1|f2|f3|f4|a1|a2|r1|s1|m1|m2|d1|d2|all]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
@@ -23,8 +23,10 @@
 //! paper as Markdown on stdout: `t1` (Table 1 convergence), `f1`–`f4`
 //! (the Fig. 1–4 contracts), `a1`/`a2` (the Remark 3.1/4.1 ablations),
 //! `r1` (resiliency boundary), `s1` (self-stabilization), `m1` (message
-//! complexity), `d1` (lockstep vs bounded-delay degradation), `d2`
-//! (bd-clock delay tolerance). `all` (the default) runs everything.
+//! complexity), `m2` (the beats/sec × n throughput curve — how fast one
+//! simulated beat runs as n scales to 256, plus bytes/beat), `d1`
+//! (lockstep vs bounded-delay degradation), `d2` (bd-clock delay
+//! tolerance). `all` (the default) runs everything.
 //! Every cell is produced through the scenario API, so each one is a
 //! replayable one-line spec.
 //!
@@ -38,12 +40,12 @@
 //!
 //! **`--jsonl`.** Switches output to one stable-keyed JSON line per
 //! executed spec (diffable, archivable). It applies to `spec` and to the
-//! sweep-based `d1`/`d2`/`m1` grids; the hand-aggregated paper tables
+//! sweep-based `d1`/`d2`/`m1`/`m2` grids; the hand-aggregated paper tables
 //! always render Markdown, and the binary exits with an error rather than
 //! mixing formats on one stream.
 //!
 //! **`--backend` and `--manifest`.** The sweep-based grids
-//! (`d1`/`d2`/`m1`) accept `--backend=threads[:N]` (the default: a
+//! (`d1`/`d2`/`m1`/`m2`) accept `--backend=threads[:N]` (the default: a
 //! thread pool in this process) or `--backend=procs[:N]` (N worker
 //! subprocesses, each an `experiments worker` re-exec — see
 //! [`shard`]). Output is byte-identical across backends.
@@ -57,9 +59,17 @@
 //! each spec's full beat budget instead of stopping at stable sync.
 //!
 //! **Environment knobs.** `BYZCLOCK_TRIALS` scales every grid's trial
-//! count ([`trials`]); `BYZCLOCK_THREADS` caps the worker pool
-//! ([`default_threads`]); `PROPTEST_CASES` and `CRITERION_MEASURE_MS`
-//! keep the property tests and benches fast in CI.
+//! count ([`trials`]); `BYZCLOCK_THREADS` caps the machine-wide thread
+//! budget ([`default_threads`]) — sweep coordinators split it across
+//! their worker slots and hand each worker the remainder as its in-beat
+//! `step_threads` default ([`step_threads_per_worker`]), so the two
+//! layers of parallelism never multiply; `BYZCLOCK_STEP_THREADS` pins the
+//! in-beat fan-out explicitly and wins over that split;
+//! `BYZCLOCK_M2_MAX_N` caps the largest n the `m2` grid runs (the CI
+//! smoke sets 128); `BYZCLOCK_BEAT_SCALING_NS` trims the cluster sizes
+//! `benches/beat_scaling.rs` prices; `PROPTEST_CASES` and
+//! `CRITERION_MEASURE_MS` keep the property tests and benches fast in
+//! CI.
 //!
 //! # Offline compat stubs and the swap-back path
 //!
@@ -108,7 +118,10 @@ use std::fmt::Write as _;
 
 pub mod shard;
 
-pub use shard::{sweep_specs, SweepBackend, SweepOptions, SweepResult};
+pub use shard::{
+    step_threads_per_worker, sweep_specs, sweep_specs_timed, SweepBackend, SweepOptions,
+    SweepResult,
+};
 
 /// Summary statistics over convergence-time samples; `None` samples are
 /// timeouts at the experiment's horizon.

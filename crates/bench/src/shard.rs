@@ -72,10 +72,27 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One spec's sweep outcome.
 pub type SweepResult = Result<RunReport, ScenarioError>;
+
+/// One result slot of a timed sweep: unresolved, or the outcome plus the
+/// coordinator wall-clock (`None` when served from the manifest).
+type TimedSlot = Option<(SweepResult, Option<Duration>)>;
+
+/// In-beat stepping budget per sweep worker: one global thread budget
+/// (`BYZCLOCK_THREADS`, or the core count) divided across the sweep's
+/// worker slots. Sweep workers and the simulator's `step_threads`
+/// *multiply* — a 8-worker sweep whose every node-stepping phase also
+/// fanned out 8-wide would oversubscribe the machine 8× — so the
+/// coordinator hands each worker `total / workers` (at least 1) and the
+/// worker's runs inherit it. An explicit `BYZCLOCK_STEP_THREADS` in the
+/// environment wins over this split on both backends: the user asked for
+/// that fan-out, the coordinator only fills in a default.
+pub fn step_threads_per_worker(workers: usize) -> usize {
+    (crate::default_threads() / workers.max(1)).max(1)
+}
 
 /// Which execution substrate runs a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,14 +190,33 @@ pub fn sweep_specs(
     backend: SweepBackend,
     opts: &SweepOptions,
 ) -> Vec<SweepResult> {
+    sweep_specs_timed(registry, specs, backend, opts)
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect()
+}
+
+/// [`sweep_specs`] plus each spec's coordinator-side wall-clock: the time
+/// from handing the spec to a worker (thread or subprocess) to receiving
+/// its report. Manifest-served specs carry `None` — nothing ran, so there
+/// is no honest duration to report. The throughput grids (`m2`) divide
+/// executed beats by this to get beats/sec; it includes the process
+/// backend's pipe round-trip, which is noise at the multi-second cell
+/// sizes those grids measure.
+pub fn sweep_specs_timed(
+    registry: &ProtocolRegistry,
+    specs: &[ScenarioSpec],
+    backend: SweepBackend,
+    opts: &SweepOptions,
+) -> Vec<(SweepResult, Option<Duration>)> {
     let keys: Vec<String> = specs.iter().map(ToString::to_string).collect();
-    let mut slots: Vec<Option<SweepResult>> = vec![None; specs.len()];
+    let mut slots: Vec<TimedSlot> = vec![None; specs.len()];
 
     if let Some(path) = opts.manifest.as_deref() {
         let cached = load_manifest(path, opts.exact);
         for (slot, key) in slots.iter_mut().zip(&keys) {
             if let Some(report) = cached.get(key) {
-                *slot = Some(Ok(report.clone()));
+                *slot = Some((Ok(report.clone()), None));
             }
         }
     }
@@ -228,27 +264,40 @@ pub fn sweep_specs(
 }
 
 /// The in-process backend: [`crate::parallel_trials`] over the pending
-/// indices, manifest entries appended as results land.
+/// indices, manifest entries appended as results land. Each worker thread
+/// steps its runs with the [`step_threads_per_worker`] budget (unless the
+/// user pinned `BYZCLOCK_STEP_THREADS` themselves), so the two layers of
+/// parallelism share one machine instead of multiplying.
 fn run_threads(
     registry: &ProtocolRegistry,
     specs: &[ScenarioSpec],
     pending: &[usize],
-    slots: &mut [Option<SweepResult>],
+    slots: &mut [TimedSlot],
     threads: usize,
     opts: &SweepOptions,
     writer: Option<&Mutex<File>>,
 ) {
+    let workers = threads.max(1).min(pending.len().max(1));
+    let step_budget = step_threads_per_worker(workers);
+    let pin_step_threads = std::env::var_os("BYZCLOCK_STEP_THREADS").is_none();
     let results = crate::parallel_trials(pending.len() as u64, threads, |i| {
+        if pin_step_threads {
+            // Thread-local: contained to this scoped worker thread, gone
+            // when the pool unwinds.
+            byzclock_sim::set_step_threads_override(Some(step_budget));
+        }
         let spec = &specs[pending[i as usize]];
+        let start = Instant::now();
         let result = if opts.exact {
             registry.run_exact(spec)
         } else {
             registry.run(spec)
         };
+        let elapsed = start.elapsed();
         if let (Some(writer), Ok(report)) = (writer, &result) {
             append_manifest_line(writer, opts.exact, report);
         }
-        result
+        (result, Some(elapsed))
     });
     for (&idx, result) in pending.iter().zip(results) {
         slots[idx] = Some(result);
@@ -264,10 +313,14 @@ fn run_threads(
 struct Coordinator<'a> {
     /// `(spec index, attempts so far)`.
     queue: Mutex<VecDeque<(usize, u32)>>,
-    slots: Mutex<&'a mut [Option<SweepResult>]>,
+    slots: Mutex<&'a mut [TimedSlot]>,
     keys: &'a [String],
     cmd: Vec<String>,
     exact: bool,
+    /// `BYZCLOCK_STEP_THREADS` exported to every worker subprocess (see
+    /// [`step_threads_per_worker`]); `None` leaves the parent's own
+    /// setting to inherit untouched.
+    step_threads: Option<usize>,
     timeout: Option<Duration>,
     retries: u32,
     writer: Option<&'a Mutex<File>>,
@@ -276,7 +329,7 @@ struct Coordinator<'a> {
 fn run_processes(
     keys: &[String],
     pending: &[usize],
-    slots: &mut [Option<SweepResult>],
+    slots: &mut [TimedSlot],
     workers: usize,
     opts: &SweepOptions,
     writer: Option<&Mutex<File>>,
@@ -288,17 +341,22 @@ fn run_processes(
     } else {
         opts.worker.clone()
     };
+    let worker_count = workers.max(1).min(pending.len());
+    let step_threads = std::env::var_os("BYZCLOCK_STEP_THREADS")
+        .is_none()
+        .then(|| step_threads_per_worker(worker_count));
     let ctx = Coordinator {
         queue: Mutex::new(pending.iter().map(|&i| (i, 0)).collect()),
         slots: Mutex::new(slots),
         keys,
         cmd,
         exact: opts.exact,
+        step_threads,
         timeout: opts.timeout,
         retries: opts.retries.max(1),
         writer,
     };
-    let workers = workers.max(1).min(pending.len());
+    let workers = worker_count;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| worker_slot(&ctx));
@@ -316,7 +374,7 @@ fn worker_slot(ctx: &Coordinator<'_>) {
         };
         let key = &ctx.keys[idx];
         if worker.is_none() {
-            match WorkerProc::spawn(&ctx.cmd, ctx.exact) {
+            match WorkerProc::spawn(&ctx.cmd, ctx.exact, ctx.step_threads) {
                 Ok(w) => worker = Some(w),
                 Err(e) => {
                     transport_failure(ctx, idx, attempts, &format!("spawn failed: {e}"));
@@ -324,23 +382,25 @@ fn worker_slot(ctx: &Coordinator<'_>) {
                 }
             }
         }
+        let start = Instant::now();
         let outcome = worker
             .as_mut()
             .expect("spawned above")
             .submit(key, ctx.timeout);
+        let elapsed = start.elapsed();
         match outcome {
             Ok(line) => {
                 if let Some(msg) = parse_error_line(&line) {
                     // A healthy worker relaying a spec-level error: the
                     // retry budget is for transport faults, not for specs
                     // that deterministically cannot run.
-                    record(ctx, idx, Err(ScenarioError::Sweep(msg)));
+                    record(ctx, idx, Err(ScenarioError::Sweep(msg)), None);
                 } else if let Some(report) = RunReport::from_json(&line) {
                     if report.spec == *key {
                         if let Some(writer) = ctx.writer {
                             append_manifest_line(writer, ctx.exact, &report);
                         }
-                        record(ctx, idx, Ok(report));
+                        record(ctx, idx, Ok(report), Some(elapsed));
                     } else {
                         worker.take().expect("present").shutdown();
                         transport_failure(
@@ -378,6 +438,7 @@ fn transport_failure(ctx: &Coordinator<'_>, idx: usize, attempts: u32, msg: &str
                 "spec `{}` failed after {attempts} worker attempts: {msg}",
                 ctx.keys[idx]
             ))),
+            None,
         );
     } else {
         ctx.queue
@@ -387,8 +448,8 @@ fn transport_failure(ctx: &Coordinator<'_>, idx: usize, attempts: u32, msg: &str
     }
 }
 
-fn record(ctx: &Coordinator<'_>, idx: usize, result: SweepResult) {
-    ctx.slots.lock().expect("slots lock")[idx] = Some(result);
+fn record(ctx: &Coordinator<'_>, idx: usize, result: SweepResult, elapsed: Option<Duration>) {
+    ctx.slots.lock().expect("slots lock")[idx] = Some((result, elapsed));
 }
 
 /// A live worker subprocess plus the channel its stdout drains into.
@@ -400,13 +461,24 @@ struct WorkerProc {
 }
 
 impl WorkerProc {
-    fn spawn(cmd: &[String], exact: bool) -> std::io::Result<WorkerProc> {
-        let mut child = Command::new(&cmd[0])
+    fn spawn(
+        cmd: &[String],
+        exact: bool,
+        step_threads: Option<usize>,
+    ) -> std::io::Result<WorkerProc> {
+        let mut command = Command::new(&cmd[0]);
+        command
             .args(&cmd[1..])
             .env("BYZCLOCK_WORKER_EXACT", if exact { "1" } else { "0" })
             .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()?;
+            .stdout(Stdio::piped());
+        if let Some(budget) = step_threads {
+            // The coordinator's share of the machine for this worker's
+            // in-beat stepping; only set when the parent environment did
+            // not pin a value (the user's own setting must win).
+            command.env("BYZCLOCK_STEP_THREADS", budget.to_string());
+        }
+        let mut child = command.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let (tx, lines) = mpsc::channel();
@@ -651,6 +723,58 @@ mod tests {
         for bad in ["", "fibers:2", "procs:0", "procs:x", "threads:-1"] {
             assert!(SweepBackend::parse(bad).is_err(), "`{bad}` parsed");
         }
+    }
+
+    #[test]
+    fn step_budget_splits_the_machine_across_workers() {
+        let total = crate::default_threads();
+        // One worker owns the whole budget; `total` workers get one
+        // stepping thread each; oversubscribed counts floor at 1.
+        assert_eq!(step_threads_per_worker(1), total);
+        assert_eq!(step_threads_per_worker(total), 1);
+        assert_eq!(step_threads_per_worker(total * 64), 1);
+        // Degenerate zero is treated as one worker, never a panic.
+        assert_eq!(step_threads_per_worker(0), total);
+    }
+
+    #[test]
+    fn timed_sweep_reports_durations_only_for_executed_specs() {
+        let registry = byzclock::scenario::default_registry();
+        let specs: Vec<ScenarioSpec> = [3, 5]
+            .into_iter()
+            .map(|seed| {
+                ScenarioSpec::new("two-clock", 4, 1)
+                    .with_coin(byzclock::scenario::CoinSpec::perfect_oracle())
+                    .with_budget(300)
+                    .with_seed(seed)
+            })
+            .collect();
+        let manifest = std::env::temp_dir().join(format!(
+            "byzclock-timed-sweep-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&manifest);
+        let opts = SweepOptions {
+            manifest: Some(manifest.clone()),
+            ..SweepOptions::default()
+        };
+        let first = sweep_specs_timed(&registry, &specs, SweepBackend::Threads(2), &opts);
+        for (result, elapsed) in &first {
+            assert!(result.is_ok());
+            assert!(elapsed.is_some(), "executed specs carry wall-clock");
+        }
+        // Second pass: every spec is served from the manifest, so nothing
+        // ran and no duration is invented.
+        let second = sweep_specs_timed(&registry, &specs, SweepBackend::Threads(2), &opts);
+        for ((result, _), (cached, elapsed)) in first.iter().zip(&second) {
+            assert!(elapsed.is_none(), "manifest-served specs carry no duration");
+            assert_eq!(
+                result.as_ref().unwrap().to_json(),
+                cached.as_ref().unwrap().to_json()
+            );
+        }
+        let _ = std::fs::remove_file(&manifest);
     }
 
     #[test]

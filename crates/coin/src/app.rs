@@ -71,6 +71,11 @@ impl<S: CoinScheme> Application for CoinApp<S> {
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.coin.corrupt(rng);
     }
+
+    fn parallel_safe(&self) -> bool {
+        use byzclock_core::RandSource as _;
+        self.coin.independent()
+    }
 }
 
 /// Per-beat agreement statistics of a coin run — the empirical
@@ -145,7 +150,9 @@ pub fn measure_coin<S, Adv, F>(
     adversary: Adv,
 ) -> CoinStats
 where
-    S: CoinScheme,
+    S: CoinScheme + Send,
+    S::Proto: Send,
+    <S::Proto as byzclock_core::RoundProtocol>::Msg: Send,
     Adv: Adversary<CoinAppMsg<S>>,
     F: Fn(NodeCfg) -> S,
 {

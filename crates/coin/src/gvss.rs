@@ -29,6 +29,7 @@ use crate::messages::{check_matrix, CoinMsg};
 use byzclock_field::{BatchDecoder, Fp, Poly, SymmetricBivariate};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
 use rand::Rng;
+use std::sync::{Arc, Mutex};
 
 /// Per-round sender dedup: claims `from`'s slot in `seen` and reports
 /// whether the message should be *skipped* — `true` when the sender
@@ -80,6 +81,147 @@ impl DecodeStats {
     }
 }
 
+/// Hot-path allocation accounting for one GVSS instance (the
+/// `metrics=alloc` counters).
+///
+/// `storage_builds`/`decoder_builds` count the expensive work this
+/// instance had to do from scratch — allocating a fresh O(n²)
+/// share-matrix block, building a Berlekamp–Welch factorization —
+/// while `storage_reuses`/`decoder_hits` count the times the shared
+/// [`GvssWorkspace`] satisfied the need from its pool or cache instead.
+/// In the steady state of a pipelined coin every instance reuses retired
+/// storage and cached factorizations, so "steady-state beats allocate
+/// nothing in the GVSS path" is the assertion
+/// `storage_builds == 0 && decoder_builds == 0` per instance after
+/// warm-up. Instrumentation only; survives `corrupt`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Fresh storage blocks allocated (the workspace pool was empty).
+    pub storage_builds: u64,
+    /// Storage blocks recycled from the workspace pool.
+    pub storage_reuses: u64,
+    /// Decoder cache misses: a new factorization entry was built.
+    pub decoder_builds: u64,
+    /// Recover-round point sets served by a cached factorization.
+    pub decoder_hits: u64,
+}
+
+impl AllocStats {
+    /// The counters as named instrumentation pairs, mirroring
+    /// [`DecodeStats::metrics`] so `metrics=alloc` scenarios can sum them
+    /// across retired instances.
+    pub fn metrics(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("alloc_storage_builds", self.storage_builds as f64),
+            ("alloc_storage_reuses", self.storage_reuses as f64),
+            ("alloc_decoder_builds", self.decoder_builds as f64),
+            ("alloc_decoder_hits", self.decoder_hits as f64),
+        ]
+    }
+}
+
+/// The per-instance O(n²) state block, split out of [`GvssCore`] so a
+/// retired instance can hand it back to a [`GvssWorkspace`] and the next
+/// instance can reuse the capacity instead of reallocating every beat.
+///
+/// Matrices are flat row-major (`dealer * n + sender`,
+/// `dealer * targets + t`): one allocation each instead of `n` nested
+/// ones, and `reset` touches lengths and values, never capacity.
+#[derive(Debug, Default)]
+struct GvssStorage {
+    /// `[dealer] -> my rows` (one polynomial per target).
+    rows: Vec<Option<Vec<Poly>>>,
+    /// `[dealer * n + sender] -> all targets matched my rows`.
+    matches: Vec<bool>,
+    /// Per-dealer count of `true` entries in `matches`, maintained
+    /// incrementally at write time so the vote round reads a counter
+    /// instead of rescanning a row per dealer.
+    match_counts: Vec<u32>,
+    /// `[dealer * n + voter] -> content vote received`.
+    votes: Vec<bool>,
+    /// Per-dealer count of `true` votes (same incremental scheme).
+    vote_counts: Vec<u32>,
+    /// `[dealer] -> grade` (fixed at the end of the vote round).
+    grades: Vec<Grade>,
+    /// `[dealer * targets + t] -> recovered value` (None = decode failed).
+    recovered: Vec<Option<u64>>,
+    /// Per-round sender-dedup scratch.
+    seen: Vec<bool>,
+    /// Recover-round scratch: per dealer, the openers' share points.
+    xs: Vec<Vec<u64>>,
+    /// Recover-round scratch: `[dealer * targets + t]` -> one y per opener.
+    ys: Vec<Vec<u64>>,
+}
+
+impl GvssStorage {
+    /// Clears values and (re)sizes every buffer for an `(n, targets)`
+    /// instance, preserving capacity from previous lives.
+    fn reset(&mut self, n: usize, targets: usize) {
+        self.rows.clear();
+        self.rows.resize(n, None);
+        self.matches.clear();
+        self.matches.resize(n * n, false);
+        self.match_counts.clear();
+        self.match_counts.resize(n, 0);
+        self.votes.clear();
+        self.votes.resize(n * n, false);
+        self.vote_counts.clear();
+        self.vote_counts.resize(n, 0);
+        self.grades.clear();
+        self.grades.resize(n, Grade::Zero);
+        self.recovered.clear();
+        self.recovered.resize(n * targets, None);
+        self.seen.clear();
+        self.seen.resize(n, false);
+        self.xs.resize_with(n, Vec::new);
+        for v in &mut self.xs {
+            v.clear();
+        }
+        self.ys.resize_with(n * targets, Vec::new);
+        for v in &mut self.ys {
+            v.clear();
+        }
+    }
+}
+
+/// Retired storage blocks kept for reuse; a pipeline holds at most `Δ_A`
+/// live instances per node, so a handful suffices.
+const POOL_CAP: usize = 8;
+/// Distinct evaluation-point sets cached across beats. Byzantine senders
+/// can vary the sets, so on overflow the cache is cleared rather than
+/// grown without bound.
+const DECODER_CACHE_CAP: usize = 32;
+
+/// Shared, cross-instance recycling arena for the GVSS hot path.
+///
+/// One workspace is held per node per coin pipeline (the scheme clones its
+/// handle into every spawned instance), so the mutex is uncontended even
+/// under parallel in-beat stepping — no workspace is ever shared across
+/// nodes. It holds
+///
+/// - a pool of retired `GvssStorage` blocks, returned on instance drop,
+///   so steady-state instances reuse O(n²) matrix capacity instead of
+///   reallocating it every beat, and
+/// - a cache of Berlekamp–Welch factorizations keyed by the recover
+///   round's evaluation-point set — in the honest steady state every beat
+///   reuses the same point set, so the elimination is built once per run
+///   instead of once per beat.
+#[derive(Debug, Clone, Default)]
+pub struct GvssWorkspace(Arc<Mutex<WorkspaceInner>>);
+
+#[derive(Debug, Default)]
+struct WorkspaceInner {
+    pool: Vec<GvssStorage>,
+    decoders: Vec<(Vec<u64>, Option<BatchDecoder>)>,
+}
+
+impl GvssWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        GvssWorkspace::default()
+    }
+}
+
 /// Per-instance GVSS state for one node: its own dealings plus its view of
 /// every other dealer.
 #[derive(Debug)]
@@ -91,36 +233,60 @@ pub struct GvssCore {
     dealt: Vec<SymmetricBivariate>,
     /// My secret values (the constant terms of `dealt`).
     my_secrets: Vec<u64>,
-    /// `[dealer] -> my rows` (one polynomial per target).
-    rows: Vec<Option<Vec<Poly>>>,
-    /// `[dealer][sender] -> all targets matched my rows`.
-    matches: Vec<Vec<bool>>,
-    /// `[dealer][voter] -> content vote received`.
-    votes: Vec<Vec<bool>>,
-    /// `[dealer] -> grade` (fixed at the end of the vote round).
-    grades: Vec<Grade>,
-    /// `[dealer][target] -> recovered value` (None = decode failed).
-    recovered: Vec<Vec<Option<u64>>>,
+    /// The recycled matrix/scratch block (returned to `workspace` on drop).
+    st: GvssStorage,
     /// Recover-round decode accounting (instrumentation).
     decode_stats: DecodeStats,
+    /// Hot-path allocation accounting (instrumentation).
+    alloc_stats: AllocStats,
+    workspace: GvssWorkspace,
+}
+
+impl Drop for GvssCore {
+    fn drop(&mut self) {
+        let st = std::mem::take(&mut self.st);
+        if let Ok(mut ws) = self.workspace.0.lock() {
+            if ws.pool.len() < POOL_CAP {
+                ws.pool.push(st);
+            }
+        }
+    }
 }
 
 impl GvssCore {
-    /// Fresh instance state. `targets` is the per-dealer secret count.
+    /// Fresh instance state with a private workspace. `targets` is the
+    /// per-dealer secret count.
     pub fn new(cfg: NodeCfg, targets: usize) -> Self {
+        GvssCore::with_workspace(cfg, targets, GvssWorkspace::new())
+    }
+
+    /// Fresh instance state drawing storage and cached decoder
+    /// factorizations from `workspace` (the pipelined steady-state path).
+    pub fn with_workspace(cfg: NodeCfg, targets: usize, workspace: GvssWorkspace) -> Self {
         let n = cfg.n;
+        let mut alloc_stats = AllocStats::default();
+        let pooled = workspace.0.lock().expect("workspace lock").pool.pop();
+        let mut st = match pooled {
+            Some(st) => {
+                alloc_stats.storage_reuses += 1;
+                st
+            }
+            None => {
+                alloc_stats.storage_builds += 1;
+                GvssStorage::default()
+            }
+        };
+        st.reset(n, targets);
         GvssCore {
             cfg,
             fp: Fp::for_cluster(n),
             targets,
             dealt: Vec::new(),
             my_secrets: Vec::new(),
-            rows: vec![None; n],
-            matches: vec![vec![false; n]; n],
-            votes: vec![vec![false; n]; n],
-            grades: vec![Grade::Zero; n],
-            recovered: vec![vec![None; targets]; n],
+            st,
             decode_stats: DecodeStats::default(),
+            alloc_stats,
+            workspace,
         }
     }
 
@@ -136,12 +302,13 @@ impl GvssCore {
 
     /// The grade assigned to `dealer`.
     pub fn grade(&self, dealer: NodeId) -> Grade {
-        self.grades[dealer.index()]
+        self.st.grades[dealer.index()]
     }
 
     /// Dealers included in the combine step (grade ≥ 1).
     pub fn included(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.grades
+        self.st
+            .grades
             .iter()
             .enumerate()
             .filter(|&(_, g)| *g >= Grade::One)
@@ -151,12 +318,17 @@ impl GvssCore {
     /// Recovered value of `dealer`'s `target`-th secret (None until the
     /// recover round, or when decoding failed).
     pub fn recovered(&self, dealer: NodeId, target: usize) -> Option<u64> {
-        self.recovered[dealer.index()][target]
+        self.st.recovered[dealer.index() * self.targets + target]
     }
 
     /// This instance's recover-round decode accounting.
     pub fn decode_stats(&self) -> DecodeStats {
         self.decode_stats
+    }
+
+    /// This instance's hot-path allocation accounting.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc_stats
     }
 
     /// Round 0 send: deal my batch. `sample` draws each secret (e.g.
@@ -203,7 +375,7 @@ impl GvssCore {
                 })
                 .collect();
             if let Some(polys) = parsed {
-                self.rows[from.index()] = Some(polys);
+                self.st.rows[from.index()] = Some(polys);
             }
         }
     }
@@ -212,6 +384,7 @@ impl GvssCore {
     pub fn send_echo(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
         for to in self.cfg.all_ids() {
             let points: Vec<Option<Vec<u64>>> = self
+                .st
                 .rows
                 .iter()
                 .map(|rows| {
@@ -230,21 +403,26 @@ impl GvssCore {
     /// Round 1 receive: record which senders' cross-points match my rows.
     /// One `Echo` per sender (first wins, like [`GvssCore::recv_vote`] and
     /// [`GvssCore::recv_recover`]).
+    ///
+    /// The per-dealer match tally is maintained incrementally here, at
+    /// write time, so `send_vote` reads a counter per dealer instead of
+    /// rescanning an `n`-entry row — O(n) per message stays O(n), and the
+    /// vote round drops from O(n²) to O(n).
     pub fn recv_echo(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
-        let mut seen = vec![false; n];
+        self.st.seen.iter_mut().for_each(|s| *s = false);
         for (from, msg) in inbox {
             let CoinMsg::Echo { points } = msg else {
                 continue;
             };
-            if claim_sender_slot(&mut seen, from) {
+            if claim_sender_slot(&mut self.st.seen, from) {
                 continue;
             }
             let Some(points) = check_matrix(points, n, self.targets) else {
                 continue;
             };
             for dealer in 0..n {
-                let (Some(my_rows), Some(their_points)) = (&self.rows[dealer], &points[dealer])
+                let (Some(my_rows), Some(their_points)) = (&self.st.rows[dealer], &points[dealer])
                 else {
                     continue;
                 };
@@ -252,18 +430,29 @@ impl GvssCore {
                     .iter()
                     .zip(their_points.iter())
                     .all(|(mine, &p)| mine.eval(&self.fp, from.share_point()) == self.fp.reduce(p));
-                self.matches[dealer][from.index()] = all_match;
+                let slot = &mut self.st.matches[dealer * n + from.index()];
+                if *slot != all_match {
+                    // Delta form keeps the counter exact even if a slot
+                    // were ever rewritten (first-wins makes that
+                    // unreachable today).
+                    *slot = all_match;
+                    if all_match {
+                        self.st.match_counts[dealer] += 1;
+                    } else {
+                        self.st.match_counts[dealer] -= 1;
+                    }
+                }
             }
         }
     }
 
-    /// Round 2 send: broadcast contentment per dealer.
+    /// Round 2 send: broadcast contentment per dealer — a counter read per
+    /// dealer thanks to the incremental tally in [`GvssCore::recv_echo`].
     pub fn send_vote(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
         let quorum = self.cfg.quorum();
         let content: Vec<bool> = (0..self.cfg.n)
             .map(|dealer| {
-                self.rows[dealer].is_some()
-                    && self.matches[dealer].iter().filter(|&&m| m).count() >= quorum
+                self.st.rows[dealer].is_some() && self.st.match_counts[dealer] as usize >= quorum
             })
             .collect();
         out.push((Target::All, CoinMsg::Vote { content }));
@@ -272,28 +461,38 @@ impl GvssCore {
     /// Round 2 receive: tally votes, fix grades. One `Vote` per sender
     /// (first wins) — without the dedup a double-send would simply
     /// overwrite, but first-wins keeps the accounting uniform across the
-    /// three tally rounds.
+    /// three tally rounds. Vote counts are maintained incrementally per
+    /// message, so the grade fix is one counter read per dealer instead of
+    /// an O(n) rescan.
     pub fn recv_vote(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
-        let mut seen = vec![false; n];
+        self.st.seen.iter_mut().for_each(|s| *s = false);
         for (from, msg) in inbox {
             let CoinMsg::Vote { content } = msg else {
                 continue;
             };
-            if claim_sender_slot(&mut seen, from) {
+            if claim_sender_slot(&mut self.st.seen, from) {
                 continue;
             }
             if content.len() != n {
                 continue;
             }
             for dealer in 0..n {
-                self.votes[dealer][from.index()] = content[dealer];
+                let slot = &mut self.st.votes[dealer * n + from.index()];
+                if *slot != content[dealer] {
+                    *slot = content[dealer];
+                    if content[dealer] {
+                        self.st.vote_counts[dealer] += 1;
+                    } else {
+                        self.st.vote_counts[dealer] -= 1;
+                    }
+                }
             }
         }
         let f = self.cfg.f;
         for dealer in 0..n {
-            let count = self.votes[dealer].iter().filter(|&&v| v).count();
-            self.grades[dealer] = if count >= n - f {
+            let count = self.st.vote_counts[dealer] as usize;
+            self.st.grades[dealer] = if count >= n - f {
                 Grade::Two
             } else if count >= n.saturating_sub(2 * f) {
                 Grade::One
@@ -308,6 +507,7 @@ impl GvssCore {
     /// local decision, and extra shares only help decoding).
     pub fn send_recover(&mut self, out: &mut Vec<(Target, CoinMsg)>) {
         let shares: Vec<Option<Vec<u64>>> = self
+            .st
             .rows
             .iter()
             .map(|rows| {
@@ -331,10 +531,15 @@ impl GvssCore {
     pub fn recv_recover(&mut self, inbox: &[(NodeId, CoinMsg)]) {
         let n = self.cfg.n;
         let f = self.cfg.f;
+        let targets = self.targets;
         // Per dealer: the openers' share points, and one codeword (a y per
-        // opener) per target.
-        let mut xs: Vec<Vec<u64>> = vec![Vec::new(); n];
-        let mut ys: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); self.targets]; n];
+        // opener) per target — workspace scratch, reused across beats.
+        for v in &mut self.st.xs {
+            v.clear();
+        }
+        for v in &mut self.st.ys {
+            v.clear();
+        }
         // One `Recover` per sender, first wins. This dedup is
         // load-bearing, not bookkeeping: a second copy of the same message
         // (a phantom replay, a Byzantine double-send) would push the
@@ -343,12 +548,12 @@ impl GvssCore {
         // *every* codeword of every dealer sharing that point set would
         // fail to open — one replayed envelope stalling the whole recover
         // round.
-        let mut seen = vec![false; n];
+        self.st.seen.iter_mut().for_each(|s| *s = false);
         for (from, msg) in inbox {
             let CoinMsg::Recover { shares } = msg else {
                 continue;
             };
-            if claim_sender_slot(&mut seen, from) {
+            if claim_sender_slot(&mut self.st.seen, from) {
                 continue;
             }
             let Some(shares) = check_matrix(shares, n, self.targets) else {
@@ -356,38 +561,50 @@ impl GvssCore {
             };
             for dealer in 0..n {
                 if let Some(vals) = &shares[dealer] {
-                    xs[dealer].push(from.share_point());
+                    self.st.xs[dealer].push(from.share_point());
                     for (t, &v) in vals.iter().enumerate() {
-                        ys[dealer][t].push(self.fp.reduce(v));
+                        self.st.ys[dealer * targets + t].push(self.fp.reduce(v));
                     }
                 }
             }
         }
-        // One decoder per distinct point set this beat. `None` decoders
-        // (too few or duplicate openers) fail every codeword, exactly as
-        // the one-shot decode would.
-        let mut decoders: Vec<(Vec<u64>, Option<BatchDecoder>)> = Vec::new();
+        // One decoder per distinct point set, looked up in the workspace
+        // cache — which persists across beats, so in the honest steady
+        // state (every beat's openers coincide) the elimination is built
+        // once per run instead of once per beat. `None` decoders (too few
+        // or duplicate openers) fail every codeword, exactly as the
+        // one-shot decode would, and are cached too so a bad point set is
+        // probed once.
+        let mut ws = self.workspace.0.lock().expect("workspace lock");
         for dealer in 0..n {
-            if self.grades[dealer] < Grade::One {
+            if self.st.grades[dealer] < Grade::One {
                 continue;
             }
-            let idx = match decoders.iter().position(|(x, _)| x == &xs[dealer]) {
-                Some(idx) => idx,
+            let xs = &self.st.xs[dealer];
+            let idx = match ws.decoders.iter().position(|(x, _)| x == xs) {
+                Some(idx) => {
+                    self.alloc_stats.decoder_hits += 1;
+                    idx
+                }
                 None => {
-                    let decoder = BatchDecoder::new(&self.fp, &xs[dealer], f);
+                    if ws.decoders.len() >= DECODER_CACHE_CAP {
+                        ws.decoders.clear();
+                    }
+                    let decoder = BatchDecoder::new(&self.fp, xs, f);
                     // Count only factorizations that were actually built;
                     // unusable point sets never become a batch.
                     self.decode_stats.batches += u64::from(decoder.is_some());
-                    decoders.push((xs[dealer].clone(), decoder));
-                    decoders.len() - 1
+                    self.alloc_stats.decoder_builds += 1;
+                    ws.decoders.push((xs.clone(), decoder));
+                    ws.decoders.len() - 1
                 }
             };
-            let decoder = &mut decoders[idx].1;
+            let decoder = &mut ws.decoders[idx].1;
             let routed = decoder.is_some();
-            for t in 0..self.targets {
-                self.recovered[dealer][t] = decoder
+            for t in 0..targets {
+                self.st.recovered[dealer * targets + t] = decoder
                     .as_mut()
-                    .and_then(|d| d.decode_one(&ys[dealer][t]))
+                    .and_then(|d| d.decode_one(&self.st.ys[dealer * targets + t]))
                     .map(|g| g.eval(&self.fp, 0));
                 self.decode_stats.codewords += u64::from(routed);
             }
@@ -406,7 +623,7 @@ impl GvssCore {
             .map(|&s| SymmetricBivariate::random_with_secret(&self.fp, s, f, rng))
             .collect();
         for dealer in 0..n {
-            self.rows[dealer] = if rng.random() {
+            self.st.rows[dealer] = if rng.random() {
                 Some(
                     (0..self.targets)
                         .map(|_| Poly::from_coeffs((0..=f).map(|_| self.fp.sample(rng)).collect()))
@@ -416,17 +633,31 @@ impl GvssCore {
                 None
             };
             for s in 0..n {
-                self.matches[dealer][s] = rng.random();
-                self.votes[dealer][s] = rng.random();
+                self.st.matches[dealer * n + s] = rng.random();
+                self.st.votes[dealer * n + s] = rng.random();
             }
-            self.grades[dealer] = match rng.random_range(0..3u8) {
+            self.st.grades[dealer] = match rng.random_range(0..3u8) {
                 0 => Grade::Zero,
                 1 => Grade::One,
                 _ => Grade::Two,
             };
             for t in 0..self.targets {
-                self.recovered[dealer][t] = rng.random::<bool>().then(|| self.fp.sample(rng));
+                self.st.recovered[dealer * self.targets + t] =
+                    rng.random::<bool>().then(|| self.fp.sample(rng));
             }
+        }
+        // Re-derive the incremental tallies from the scrambled matrices;
+        // corrupt is cold, and the recount here is what keeps the hot
+        // rounds scan-free.
+        for dealer in 0..n {
+            self.st.match_counts[dealer] = self.st.matches[dealer * n..(dealer + 1) * n]
+                .iter()
+                .filter(|&&m| m)
+                .count() as u32;
+            self.st.vote_counts[dealer] = self.st.votes[dealer * n..(dealer + 1) * n]
+                .iter()
+                .filter(|&&v| v)
+                .count() as u32;
         }
     }
 }
@@ -439,9 +670,33 @@ mod tests {
     /// Drives a full 4-round honest execution of one instance across all
     /// `n` nodes in-process (no simulator) and returns the cores.
     fn run_honest(n: usize, f: usize, targets: usize, seed: u64) -> Vec<GvssCore> {
+        run_honest_with(n, f, targets, seed, &fresh_workspaces(n))
+    }
+
+    /// One *distinct* workspace per node (`vec![ws; n]` would clone one
+    /// shared handle).
+    fn fresh_workspaces(n: usize) -> Vec<GvssWorkspace> {
+        (0..n).map(|_| GvssWorkspace::new()).collect()
+    }
+
+    /// [`run_honest`] with caller-supplied per-node workspaces, so tests
+    /// can observe cross-instance pool/cache reuse.
+    fn run_honest_with(
+        n: usize,
+        f: usize,
+        targets: usize,
+        seed: u64,
+        workspaces: &[GvssWorkspace],
+    ) -> Vec<GvssCore> {
         let mut rng = SimRng::seed_from_u64(seed);
         let mut cores: Vec<GvssCore> = (0..n as u16)
-            .map(|i| GvssCore::new(NodeCfg::new(NodeId::new(i), n, f), targets))
+            .map(|i| {
+                GvssCore::with_workspace(
+                    NodeCfg::new(NodeId::new(i), n, f),
+                    targets,
+                    workspaces[i as usize].clone(),
+                )
+            })
             .collect();
         let route = |sends: Vec<(NodeId, Vec<(Target, CoinMsg)>)>, n: usize| {
             let mut inboxes: Vec<Vec<(NodeId, CoinMsg)>> = vec![Vec::new(); n];
@@ -535,6 +790,71 @@ mod tests {
             let stats = core.decode_stats();
             assert_eq!(stats.batches, 1, "{stats:?}");
             assert_eq!(stats.codewords, 21, "{stats:?}");
+        }
+    }
+
+    /// The workspace contract: the first instance builds its storage and
+    /// decoder factorization; every later instance over the same workspace
+    /// reuses both — steady-state beats allocate nothing in the GVSS path.
+    #[test]
+    fn workspace_reuses_storage_and_decoders_across_instances() {
+        let (n, f, targets) = (7, 2, 3);
+        let workspaces = fresh_workspaces(n);
+        let first = run_honest_with(n, f, targets, 9, &workspaces);
+        for core in &first {
+            let stats = core.alloc_stats();
+            assert_eq!(stats.storage_builds, 1, "{stats:?}");
+            assert_eq!(stats.storage_reuses, 0, "{stats:?}");
+            assert_eq!(stats.decoder_builds, 1, "{stats:?}");
+            assert_eq!(stats.decoder_hits, (n - 1) as u64, "{stats:?}");
+        }
+        drop(first); // retire the instances: storage returns to the pool
+        let second = run_honest_with(n, f, targets, 10, &workspaces);
+        for core in &second {
+            let stats = core.alloc_stats();
+            assert_eq!(stats.storage_builds, 0, "steady state: {stats:?}");
+            assert_eq!(stats.storage_reuses, 1, "{stats:?}");
+            assert_eq!(stats.decoder_builds, 0, "steady state: {stats:?}");
+            assert_eq!(stats.decoder_hits, n as u64, "{stats:?}");
+            // The cached factorization must decode exactly like a fresh
+            // one: same per-instance codeword count, batches now zero.
+            assert_eq!(core.decode_stats().batches, 0);
+            assert_eq!(core.decode_stats().codewords, 21);
+        }
+        for dealer in 0..n {
+            let dealt = second[dealer].my_secrets().to_vec();
+            for core in &second {
+                for (t, &secret) in dealt.iter().enumerate() {
+                    assert_eq!(core.recovered(NodeId::new(dealer as u16), t), Some(secret));
+                }
+            }
+        }
+    }
+
+    /// The incremental match/vote tallies must always equal a fresh scan
+    /// of their matrices — including right after `corrupt` scrambles them.
+    #[test]
+    fn incremental_tallies_match_recounts() {
+        let n = 7;
+        let mut cores = run_honest(n, 2, 3, 11);
+        let mut rng = SimRng::seed_from_u64(4);
+        for core in &mut cores {
+            for round in 0..2 {
+                for dealer in 0..n {
+                    let row = dealer * n..(dealer + 1) * n;
+                    assert_eq!(
+                        core.st.match_counts[dealer] as usize,
+                        core.st.matches[row.clone()].iter().filter(|&&m| m).count(),
+                        "round {round} dealer {dealer} match tally drifted"
+                    );
+                    assert_eq!(
+                        core.st.vote_counts[dealer] as usize,
+                        core.st.votes[row].iter().filter(|&&v| v).count(),
+                        "round {round} dealer {dealer} vote tally drifted"
+                    );
+                }
+                core.corrupt(&mut rng);
+            }
         }
     }
 
@@ -740,7 +1060,10 @@ mod tests {
                 },
             ),
         ]);
-        assert!(core.votes.iter().all(|per| per[2]), "first vote must stand");
+        assert!(
+            core.st.votes.chunks(4).all(|per| per[2]),
+            "first vote must stand"
+        );
     }
 
     #[test]
@@ -755,7 +1078,7 @@ mod tests {
                 rows: vec![vec![1]],
             },
         )]);
-        assert!(core.rows[1].is_none());
+        assert!(core.st.rows[1].is_none());
         // Row polynomial of excessive degree.
         core.recv_share(&[(
             from,
@@ -763,7 +1086,7 @@ mod tests {
                 rows: vec![vec![1, 2, 3, 4, 5], vec![1]],
             },
         )]);
-        assert!(core.rows[1].is_none());
+        assert!(core.st.rows[1].is_none());
         // Vote with wrong arity.
         core.recv_vote(&[(
             from,
@@ -771,10 +1094,10 @@ mod tests {
                 content: vec![true],
             },
         )]);
-        assert!(core.votes.iter().all(|per| !per[1]));
+        assert!(core.st.votes.chunks(4).all(|per| !per[1]));
         // Echo with wrong dealer arity.
         core.recv_echo(&[(from, CoinMsg::Echo { points: vec![None] })]);
-        assert!(core.matches.iter().all(|per| !per[1]));
+        assert!(core.st.matches.chunks(4).all(|per| !per[1]));
     }
 
     /// Hiding: f rows of a degree-f symmetric bivariate reveal nothing

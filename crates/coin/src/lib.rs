@@ -41,7 +41,7 @@ mod ticket;
 mod xor;
 
 pub use app::{coin_stats, measure_coin, CoinApp, CoinAppMsg, CoinStats};
-pub use gvss::{DecodeStats, Grade, GvssCore};
+pub use gvss::{AllocStats, DecodeStats, Grade, GvssCore, GvssWorkspace};
 pub use messages::CoinMsg;
 pub use ticket::{TicketCoinProto, TicketCoinScheme, TICKET_COIN_ROUNDS};
 pub use xor::{XorCoinProto, XorCoinScheme, XOR_COIN_ROUNDS};

@@ -65,6 +65,32 @@ fn decode_extras<'a>(per_node: impl Iterator<Item = Vec<(&'a str, f64)>>) -> Vec
     ]
 }
 
+/// The `metrics=alloc` report extras: the GVSS workspace allocator
+/// counters summed over the correct nodes' coin pipelines. The zero-alloc
+/// steady state reads as frozen `*_builds` counters while the
+/// reuse/hit counters keep climbing — every retired instance after
+/// warm-up drew pooled storage and a cached decoder.
+fn alloc_extras<'a>(per_node: impl Iterator<Item = Vec<(&'a str, f64)>>) -> Vec<(String, f64)> {
+    const KEYS: [&str; 4] = [
+        "alloc_storage_builds",
+        "alloc_storage_reuses",
+        "alloc_decoder_builds",
+        "alloc_decoder_hits",
+    ];
+    let mut sums = [0.0f64; 4];
+    for metrics in per_node {
+        for (key, value) in metrics {
+            if let Some(i) = KEYS.iter().position(|k| *k == key) {
+                sums[i] += value;
+            }
+        }
+    }
+    KEYS.iter()
+        .zip(sums)
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
 /// [`ClockRun`] extras sampler for `clock-sync … metrics=decode`: decode
 /// batching totals across the three coin pipelines of every correct node.
 fn clock_sync_decode_extras<R, Adv>(sim: &Simulation<ClockSync<R>, Adv>) -> Vec<(String, f64)>
@@ -74,6 +100,16 @@ where
     Adv: Adversary<<ClockSync<R> as Application>::Msg>,
 {
     decode_extras(sim.correct_apps().map(|(_, app)| app.coin_metrics()))
+}
+
+/// [`ClockRun`] extras sampler for `clock-sync … metrics=alloc`.
+fn clock_sync_alloc_extras<R, Adv>(sim: &Simulation<ClockSync<R>, Adv>) -> Vec<(String, f64)>
+where
+    R: RandSource,
+    ClockSync<R>: Application,
+    Adv: Adversary<<ClockSync<R> as Application>::Msg>,
+{
+    alloc_extras(sim.correct_apps().map(|(_, app)| app.coin_metrics()))
 }
 
 /// `ss-Byz-2-Clock` over a real pipelined coin.
@@ -192,13 +228,17 @@ impl ProtocolFamily for CoinClockSyncFamily {
                 let k = spec.clock_modulus;
                 let sim = builder_for(spec)
                     .build(move |cfg, rng| ticket_clock_sync(cfg, k, rng), adversary);
-                // `metrics=decode` opts into the instrumentation sampler;
-                // the default path is byte-identical to the pinned golden
-                // reports.
-                Ok(if spec.metrics == MetricsSpec::Decode {
-                    Box::new(ClockRun::with_extras(sim, clock_sync_decode_extras))
-                } else {
-                    Box::new(ClockRun::new(sim))
+                // `metrics=decode`/`metrics=alloc` opt into an
+                // instrumentation sampler; the default path is
+                // byte-identical to the pinned golden reports.
+                Ok(match spec.metrics {
+                    MetricsSpec::Decode => {
+                        Box::new(ClockRun::with_extras(sim, clock_sync_decode_extras))
+                    }
+                    MetricsSpec::Alloc => {
+                        Box::new(ClockRun::with_extras(sim, clock_sync_alloc_extras))
+                    }
+                    MetricsSpec::None => Box::new(ClockRun::new(sim)),
                 })
             }
             _ => Err(unsupported_coin(spec)),
@@ -251,7 +291,7 @@ impl ProtocolFamily for CoinStreamFamily {
     }
 
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
-        let instrument = spec.metrics == MetricsSpec::Decode;
+        let instrument = spec.metrics;
         match spec.coin {
             CoinSpec::Ticket => {
                 let adversary = coin_adversary::<TicketCoinScheme>(spec, spec.n)?;
@@ -306,13 +346,20 @@ where
 
 /// [`ScenarioRun`] adapter for the coin stream: no clock, coin-quality
 /// metrics in the extras (warm-up `Δ_A` excluded, per Lemma 1), and —
-/// under `metrics=decode` — the recover round's decode-batch totals.
+/// under `metrics=decode` / `metrics=alloc` — the recover round's
+/// decode-batch totals or the workspace allocator counters.
 struct CoinStreamRun<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> {
     sim: Simulation<CoinApp<S>, Adv>,
-    instrument: bool,
+    instrument: MetricsSpec,
 }
 
-impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun<S, Adv> {
+impl<S, Adv> ScenarioRun for CoinStreamRun<S, Adv>
+where
+    S: CoinScheme + Send,
+    S::Proto: Send,
+    <S::Proto as byzclock_core::RoundProtocol>::Msg: Send,
+    Adv: Adversary<CoinAppMsg<S>>,
+{
     fn step(&mut self) {
         self.sim.step();
     }
@@ -342,10 +389,14 @@ impl<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> ScenarioRun for CoinStreamRun
             ("agreement_rate".to_string(), stats.agreement_rate()),
             ("measured_beats".to_string(), stats.beats as f64),
         ];
-        if self.instrument {
-            extras.extend(decode_extras(
+        match self.instrument {
+            MetricsSpec::Decode => extras.extend(decode_extras(
                 self.sim.correct_apps().map(|(_, app)| app.coin_metrics()),
-            ));
+            )),
+            MetricsSpec::Alloc => extras.extend(alloc_extras(
+                self.sim.correct_apps().map(|(_, app)| app.coin_metrics()),
+            )),
+            MetricsSpec::None => {}
         }
         extras.extend(delay_extras(self.sim.timing(), self.sim.delay_histogram()));
         extras
@@ -439,6 +490,52 @@ mod tests {
         assert_eq!(report.extra("p0"), base.extra("p0"));
         assert_eq!(report.traffic, base.traffic);
         assert_eq!(report.beats, base.beats);
+    }
+
+    #[test]
+    fn metrics_alloc_pins_the_zero_alloc_steady_state() {
+        // Over 40 beats each node retires ~36 coin instances; only the
+        // warm-up cohort may build storage/decoders — everything after
+        // draws from the workspace pool and the cached point-set decoders.
+        let plain = ScenarioSpec::parse(
+            "coin-stream n=4 f=1 coin=ticket adv=silent faults=none seed=11 budget=40",
+        )
+        .unwrap();
+        let instrumented = plain.clone().with_metrics(MetricsSpec::Alloc);
+        let registry = registry();
+        let base = registry.run(&plain).unwrap();
+        assert!(base.extra("alloc_storage_builds").is_none(), "{base:?}");
+        let report = registry.run(&instrumented).unwrap();
+        let builds = report.extra("alloc_storage_builds").unwrap();
+        let reuses = report.extra("alloc_storage_reuses").unwrap();
+        let dec_builds = report.extra("alloc_decoder_builds").unwrap();
+        let dec_hits = report.extra("alloc_decoder_hits").unwrap();
+        assert!(builds > 0.0, "warm-up must build: {report:?}");
+        assert!(
+            reuses > builds,
+            "steady state must dominate warm-up: {report:?}"
+        );
+        assert!(
+            dec_hits > dec_builds,
+            "point sets repeat, decoders must cache: {report:?}"
+        );
+        // Instrumentation never disturbs the run itself.
+        assert_eq!(report.extra("p0"), base.extra("p0"));
+        assert_eq!(report.traffic, base.traffic);
+    }
+
+    #[test]
+    fn metrics_alloc_reaches_the_ticket_clock_sync() {
+        let spec = ScenarioSpec::parse(
+            "clock-sync n=4 f=1 k=16 coin=ticket adv=silent faults=corrupt-start seed=2 \
+             budget=3000 metrics=alloc",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert!(report.converged_at.is_some(), "{report:?}");
+        let builds = report.extra("alloc_storage_builds").unwrap();
+        let reuses = report.extra("alloc_storage_reuses").unwrap();
+        assert!(builds > 0.0 && reuses > builds, "{report:?}");
     }
 
     #[test]

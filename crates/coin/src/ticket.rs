@@ -11,7 +11,7 @@
 //! push per-node disagreement (experiment F1 measures the achieved
 //! `p0`/`p1` under active attack).
 
-use crate::gvss::GvssCore;
+use crate::gvss::{GvssCore, GvssWorkspace};
 use crate::messages::CoinMsg;
 use byzclock_core::{CoinScheme, RoundProtocol};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
@@ -30,10 +30,10 @@ pub struct TicketCoinProto {
 }
 
 impl TicketCoinProto {
-    fn new(cfg: NodeCfg) -> Self {
+    fn new(cfg: NodeCfg, workspace: GvssWorkspace) -> Self {
         TicketCoinProto {
             cfg,
-            gvss: GvssCore::new(cfg, cfg.n),
+            gvss: GvssCore::with_workspace(cfg, cfg.n, workspace),
             output: false,
         }
     }
@@ -98,20 +98,31 @@ impl RoundProtocol for TicketCoinProto {
     }
 
     fn metrics(&self) -> Vec<(&'static str, f64)> {
-        self.gvss.decode_stats().metrics()
+        let mut m = self.gvss.decode_stats().metrics();
+        m.extend(self.gvss.alloc_stats().metrics());
+        m
     }
 }
 
 /// Factory for [`TicketCoinProto`] instances (`Δ_A = 4`).
-#[derive(Debug, Clone, Copy)]
+///
+/// Holds the node's [`GvssWorkspace`], so every instance this scheme
+/// spawns recycles the storage and decoder factorizations of its retired
+/// predecessors — the pipelined steady state allocates nothing in the
+/// GVSS path.
+#[derive(Debug, Clone)]
 pub struct TicketCoinScheme {
     cfg: NodeCfg,
+    workspace: GvssWorkspace,
 }
 
 impl TicketCoinScheme {
-    /// Scheme for the given node.
+    /// Scheme for the given node, with a fresh workspace.
     pub fn new(cfg: NodeCfg) -> Self {
-        TicketCoinScheme { cfg }
+        TicketCoinScheme {
+            cfg,
+            workspace: GvssWorkspace::new(),
+        }
     }
 }
 
@@ -123,7 +134,7 @@ impl CoinScheme for TicketCoinScheme {
     }
 
     fn spawn(&self, _rng: &mut SimRng) -> TicketCoinProto {
-        TicketCoinProto::new(self.cfg)
+        TicketCoinProto::new(self.cfg, self.workspace.clone())
     }
 }
 

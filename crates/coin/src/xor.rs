@@ -9,7 +9,7 @@
 //! ticket decides the zero-test. Experiment F1 runs both coins under the
 //! recover-equivocation adversary to show the gap.
 
-use crate::gvss::GvssCore;
+use crate::gvss::{GvssCore, GvssWorkspace};
 use crate::messages::CoinMsg;
 use byzclock_core::{CoinScheme, RoundProtocol};
 use byzclock_sim::{NodeCfg, NodeId, SimRng, Target};
@@ -27,10 +27,10 @@ pub struct XorCoinProto {
 }
 
 impl XorCoinProto {
-    fn new(cfg: NodeCfg) -> Self {
+    fn new(cfg: NodeCfg, workspace: GvssWorkspace) -> Self {
         XorCoinProto {
             cfg,
-            gvss: GvssCore::new(cfg, 1),
+            gvss: GvssCore::with_workspace(cfg, 1, workspace),
             output: false,
         }
     }
@@ -80,20 +80,28 @@ impl RoundProtocol for XorCoinProto {
     }
 
     fn metrics(&self) -> Vec<(&'static str, f64)> {
-        self.gvss.decode_stats().metrics()
+        let mut m = self.gvss.decode_stats().metrics();
+        m.extend(self.gvss.alloc_stats().metrics());
+        m
     }
 }
 
-/// Factory for [`XorCoinProto`] instances.
-#[derive(Debug, Clone, Copy)]
+/// Factory for [`XorCoinProto`] instances. Like the ticket scheme, it
+/// holds the node's [`GvssWorkspace`] so spawned instances recycle retired
+/// storage and decoder factorizations.
+#[derive(Debug, Clone)]
 pub struct XorCoinScheme {
     cfg: NodeCfg,
+    workspace: GvssWorkspace,
 }
 
 impl XorCoinScheme {
-    /// Scheme for the given node.
+    /// Scheme for the given node, with a fresh workspace.
     pub fn new(cfg: NodeCfg) -> Self {
-        XorCoinScheme { cfg }
+        XorCoinScheme {
+            cfg,
+            workspace: GvssWorkspace::new(),
+        }
     }
 }
 
@@ -105,7 +113,7 @@ impl CoinScheme for XorCoinScheme {
     }
 
     fn spawn(&self, _rng: &mut SimRng) -> XorCoinProto {
-        XorCoinProto::new(self.cfg)
+        XorCoinProto::new(self.cfg, self.workspace.clone())
     }
 }
 

@@ -127,6 +127,11 @@ pub struct BufferedStats {
     /// Messages dropped as late echoes of recently consumed rounds (only
     /// with a nonzero [`BufferedRounds::with_late_horizon`]).
     pub dropped_late: u64,
+    /// Dedup membership checks performed: exactly one per in-range,
+    /// non-late message, independent of how full the wheel slot already
+    /// is. Pins the O(1)-per-message dedup cost (a rescan-based dedup
+    /// would pay `slot.len()` comparisons per message instead).
+    pub dedup_probes: u64,
 }
 
 /// Threshold-driven executor of one [`RoundProtocol`] instance after
@@ -159,6 +164,11 @@ pub struct BufferedRounds<P: RoundProtocol> {
     /// `wheel[tag]` buffers `(sender, msg)` pairs for round `tag`,
     /// deduplicated per sender, cleared when the round is consumed.
     wheel: Vec<Vec<(NodeId, P::Msg)>>,
+    /// `seen[tag][sender]` mirrors `wheel[tag]` membership so the
+    /// `(sender, round)` dedup is one indexed probe per message instead
+    /// of an O(n) rescan of the slot. Grown on demand — the engine does
+    /// not know `n`, and a Byzantine sender id is bounded by `u16`.
+    seen: Vec<Vec<bool>>,
     stats: BufferedStats,
 }
 
@@ -190,6 +200,7 @@ impl<P: RoundProtocol> BufferedRounds<P> {
             resend: false,
             last_sends: Vec::new(),
             wheel: (0..depth).map(|_| Vec::new()).collect(),
+            seen: (0..depth).map(|_| Vec::new()).collect(),
             stats: BufferedStats::default(),
         }
     }
@@ -314,10 +325,17 @@ impl<P: RoundProtocol> BufferedRounds<P> {
                 self.stats.dropped_late += 1;
                 continue;
             }
-            if self.wheel[tag].iter().any(|&(prev, _)| prev == *from) {
+            let seen = &mut self.seen[tag];
+            let idx = from.index();
+            if idx >= seen.len() {
+                seen.resize(idx + 1, false);
+            }
+            self.stats.dedup_probes += 1;
+            if seen[idx] {
                 self.stats.dropped_duplicates += 1;
                 continue;
             }
+            seen[idx] = true;
             if tag != self.round {
                 self.stats.buffered_ahead += 1;
             }
@@ -365,6 +383,7 @@ impl<P: RoundProtocol> BufferedRounds<P> {
             Advance::Timeout => self.stats.timeout_advances += 1,
         }
         let mut inbox = std::mem::take(&mut self.wheel[self.round]);
+        self.seen[self.round].clear();
         inbox.sort_by_key(|&(from, _)| from);
         self.inst.recv_round(self.round, &inbox, rng);
         self.beats_waiting = 0;
@@ -402,6 +421,9 @@ impl<P: RoundProtocol> BufferedRounds<P> {
     /// executes).
     pub fn clear_buffers(&mut self) {
         for slot in &mut self.wheel {
+            slot.clear();
+        }
+        for slot in &mut self.seen {
             slot.clear();
         }
     }
@@ -476,6 +498,12 @@ impl<S: CoinScheme> Application for BufferedApp<S> {
 
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.engine.corrupt(rng);
+    }
+
+    fn parallel_safe(&self) -> bool {
+        // All state (engine, outputs) is per-node; schemes hold no shared
+        // interior mutability.
+        true
     }
 }
 
@@ -556,6 +584,23 @@ mod tests {
         assert_eq!(s.dropped_duplicates, 1);
         assert_eq!(s.dropped_garbage, 1);
         assert_eq!(s.buffered_ahead, 2);
+    }
+
+    #[test]
+    fn dedup_cost_is_constant_per_message() {
+        // Asymptotics regression: ingesting m messages must cost exactly
+        // m dedup probes, no matter how full the slot already is. The old
+        // rescan-based dedup paid 0 + 1 + ... + (m-1) comparisons here.
+        let mut e = engine(2, 1000, 1);
+        let batch: Vec<_> = (0..64).map(|i| (NodeId::new(i), msg(0, true))).collect();
+        e.ingest(&batch);
+        assert_eq!(e.support(0), 64);
+        assert_eq!(e.stats().dedup_probes, 64);
+        // A full duplicate replay: one probe each, all dropped.
+        e.ingest(&batch);
+        assert_eq!(e.support(0), 64);
+        assert_eq!(e.stats().dropped_duplicates, 64);
+        assert_eq!(e.stats().dedup_probes, 128);
     }
 
     #[test]

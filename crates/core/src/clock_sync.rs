@@ -391,6 +391,10 @@ impl<R: RandSource> Application for ClockSync<R> {
             .map(|(id, v)| (id, v % 2 == 0))
             .collect();
     }
+
+    fn parallel_safe(&self) -> bool {
+        self.four.parallel_safe() && self.rand_source.independent()
+    }
 }
 
 fn push<M>(out: &mut Outbox<'_, M>, target: Target, msg: M) {

@@ -252,6 +252,10 @@ impl<R: RandSource> Application for FourClock<R> {
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.scramble(rng);
     }
+
+    fn parallel_safe(&self) -> bool {
+        self.a1.parallel_safe() && self.a2.parallel_safe()
+    }
 }
 
 /// Messages of the shared-pipeline 4-clock.
@@ -440,6 +444,10 @@ impl<R: RandSource> Application for SharedFourClock<R> {
         self.rand_source.corrupt(rng);
         self.rand_this_beat = rng.random();
         self.gate_a2 = rng.random();
+    }
+
+    fn parallel_safe(&self) -> bool {
+        self.rand_source.independent()
     }
 }
 

@@ -154,8 +154,14 @@ impl<P: RoundProtocol> Pipeline<P> {
             if slot >= depth {
                 continue; // out-of-range tag: garbage or corruption
             }
-            // One message per (sender, slot): drop duplicates.
-            if per_slot[slot].iter().any(|&(prev, _)| prev == *from) {
+            // One message per (sender, slot): drop duplicates. The inbox
+            // is sorted by sender, so a duplicate can only sit at the tail
+            // of its slot's list — an O(1) check instead of an O(n) rescan
+            // per message.
+            if per_slot[slot]
+                .last()
+                .is_some_and(|&(prev, _)| prev == *from)
+            {
                 continue;
             }
             per_slot[slot].push((*from, slot_msg.msg.clone()));

@@ -46,6 +46,17 @@ pub trait RandSource {
     fn metrics(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+
+    /// Whether this source's state is confined to its own node — no
+    /// shared interior mutability whose cross-node observation order
+    /// could change results. [`OracleRand`] reads a beacon shared by the
+    /// whole cluster (its high-water cursor advances in whatever order
+    /// nodes deliver), so it stays `false`; message-passing sources
+    /// ([`PipelinedCoin`], [`LocalRand`]) are `true`. Applications
+    /// forward this as [`byzclock_sim::Application::parallel_safe`].
+    fn independent(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -93,6 +104,10 @@ impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
     fn metrics(&self) -> Vec<(&'static str, f64)> {
         self.pipeline.retired_metrics().to_vec()
     }
+
+    fn independent(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -116,6 +131,10 @@ impl RandSource for LocalRand {
     }
 
     fn corrupt(&mut self, _rng: &mut SimRng) {}
+
+    fn independent(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------

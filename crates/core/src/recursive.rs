@@ -173,6 +173,10 @@ impl<R: RandSource> Application for RecursiveClock<R> {
             *g = rng.random();
         }
     }
+
+    fn parallel_safe(&self) -> bool {
+        self.levels.iter().all(Application::parallel_safe)
+    }
 }
 
 #[cfg(test)]

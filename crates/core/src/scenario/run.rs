@@ -126,7 +126,8 @@ where
 
 impl<A, Adv> ScenarioRun for ClockRun<A, Adv>
 where
-    A: Application + DigitalClock,
+    A: Application + DigitalClock + Send,
+    A::Msg: Send,
     Adv: Adversary<A::Msg>,
 {
     fn step(&mut self) {

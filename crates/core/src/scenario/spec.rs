@@ -149,9 +149,13 @@ impl std::str::FromStr for CoinSpec {
 /// pre-instrumentation era (the lockstep golden reports pin this);
 /// `Decode` asks coin-backed scenarios to append the GVSS recover-round
 /// decode counters (`decode_batches`, `decode_codewords`,
-/// `decode_mean_batch`) accumulated by the batched Berlekamp–Welch path.
-/// Families without the relevant machinery ignore the knob, exactly like
-/// the fixed-modulus clocks ignore `k`.
+/// `decode_mean_batch`) accumulated by the batched Berlekamp–Welch path;
+/// `Alloc` appends the GVSS workspace allocator counters
+/// (`alloc_storage_builds`, `alloc_storage_reuses`, `alloc_decoder_builds`,
+/// `alloc_decoder_hits`), which pin the zero-alloc steady state — after
+/// warm-up every retired coin instance reuses pooled storage and cached
+/// decoders instead of allocating. Families without the relevant machinery
+/// ignore the knob, exactly like the fixed-modulus clocks ignore `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MetricsSpec {
     /// No extra instrumentation (the default; omitted from spec lines).
@@ -159,6 +163,8 @@ pub enum MetricsSpec {
     None,
     /// Report the coin's decode-batch counters in the extras.
     Decode,
+    /// Report the coin's workspace allocator counters in the extras.
+    Alloc,
 }
 
 impl fmt::Display for MetricsSpec {
@@ -166,6 +172,7 @@ impl fmt::Display for MetricsSpec {
         match self {
             MetricsSpec::None => write!(f, "none"),
             MetricsSpec::Decode => write!(f, "decode"),
+            MetricsSpec::Alloc => write!(f, "alloc"),
         }
     }
 }
@@ -177,8 +184,9 @@ impl std::str::FromStr for MetricsSpec {
         match s {
             "none" => Ok(MetricsSpec::None),
             "decode" => Ok(MetricsSpec::Decode),
+            "alloc" => Ok(MetricsSpec::Alloc),
             _ => Err(ScenarioError::Parse(format!(
-                "unknown metrics spec `{s}` (valid: none, decode)"
+                "unknown metrics spec `{s}` (valid: none, decode, alloc)"
             ))),
         }
     }
@@ -922,10 +930,15 @@ mod tests {
         let spec = ScenarioSpec::new("clock-sync", 4, 1);
         assert_eq!(spec.metrics, MetricsSpec::None);
         assert!(!spec.to_string().contains("metrics="));
-        let on = spec.with_metrics(MetricsSpec::Decode);
-        let line = on.to_string();
-        assert!(line.contains(" metrics=decode "), "{line}");
-        assert_eq!(ScenarioSpec::parse(&line).unwrap(), on);
+        for (metrics, token) in [
+            (MetricsSpec::Decode, " metrics=decode "),
+            (MetricsSpec::Alloc, " metrics=alloc "),
+        ] {
+            let on = spec.clone().with_metrics(metrics);
+            let line = on.to_string();
+            assert!(line.contains(token), "{line}");
+            assert_eq!(ScenarioSpec::parse(&line).unwrap(), on);
+        }
         assert!(ScenarioSpec::parse("two-clock n=4 metrics=bogus").is_err());
     }
 
@@ -953,8 +966,9 @@ mod tests {
              budget=3000",
             // ROADMAP.md bd-clock registration line / ARCHITECTURE.md grammar
             "bd-clock n=7 f=2 k=8 coin=oracle delay=2",
-            // ARCHITECTURE.md instrumentation example
+            // ARCHITECTURE.md instrumentation examples
             "coin-stream n=7 f=2 coin=ticket faults=none metrics=decode budget=40",
+            "coin-stream n=7 f=2 coin=ticket faults=none metrics=alloc budget=40",
             // CI wire-codec smoke lines / ARCHITECTURE.md wire-format section
             "coin-stream n=7 f=2 coin=ticket adv=silent faults=none wire=packed seed=1 \
              budget=40",

@@ -278,6 +278,10 @@ impl<R: RandSource> Application for TwoClock<R> {
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.scramble(rng);
     }
+
+    fn parallel_safe(&self) -> bool {
+        self.rand_source.independent()
+    }
 }
 
 /// The Remark 3.1 **anti-pattern**: senders substitute the *previous*
@@ -356,6 +360,10 @@ impl<R: RandSource> Application for BrokenTwoClock<R> {
         self.core.corrupt(rng);
         self.rand_source.corrupt(rng);
         self.prev_rand = rng.random();
+    }
+
+    fn parallel_safe(&self) -> bool {
+        self.rand_source.independent()
     }
 }
 

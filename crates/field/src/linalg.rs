@@ -227,7 +227,16 @@ pub struct Eliminator {
     rank: usize,
     ops: Vec<Op>,
     cols: Vec<ColState>,
+    /// Retired column buffers (pivot columns discard their storage after
+    /// reduction; reset frees the suffix) kept for reuse via
+    /// [`Eliminator::spare_col`], so the push/rewind cycle of batch
+    /// decoding allocates nothing in the steady state.
+    spare: Vec<Vec<FpElem>>,
 }
+
+/// Retired column buffers kept per eliminator; the decoder's push/rewind
+/// cycle uses a handful at a time.
+const SPARE_CAP: usize = 64;
 
 impl Eliminator {
     /// An empty elimination over `rows` equations.
@@ -237,6 +246,22 @@ impl Eliminator {
             rank: 0,
             ops: Vec::new(),
             cols: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// A recycled column buffer (empty, with whatever capacity its past
+    /// lives accumulated) for the caller to build its next
+    /// [`Eliminator::push_col`] column in. Falls back to a fresh `Vec`
+    /// when nothing has been retired yet.
+    pub fn spare_col(&mut self) -> Vec<FpElem> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    fn retire(&mut self, mut col: Vec<FpElem>) {
+        if self.spare.len() < SPARE_CAP {
+            col.clear();
+            self.spare.push(col);
         }
     }
 
@@ -322,6 +347,7 @@ impl Eliminator {
         // (rows >= the front at the time the free column was pushed).
         self.cols.push(ColState::Pivot { row: pivot });
         self.rank += 1;
+        self.retire(col);
         true
     }
 
@@ -382,7 +408,11 @@ impl Eliminator {
             "mark describes a state this elimination has already rewound past"
         );
         self.ops.truncate(mark.ops);
-        self.cols.truncate(mark.cols);
+        while self.cols.len() > mark.cols {
+            if let Some(ColState::Free(col)) = self.cols.pop() {
+                self.retire(col);
+            }
+        }
         self.rank = mark.rank;
     }
 }

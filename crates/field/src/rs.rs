@@ -283,6 +283,10 @@ pub struct BatchDecoder {
     /// first.
     clean_stage: Option<Eliminator>,
     full_stage: Option<Eliminator>,
+    /// Reduced-codeword scratch reused across [`BatchDecoder::decode_one`]
+    /// calls, so steady-state decodes allocate only in the candidate
+    /// acceptance path.
+    ys_buf: Vec<FpElem>,
 }
 
 impl BatchDecoder {
@@ -312,6 +316,7 @@ impl BatchDecoder {
             xpow,
             clean_stage: None,
             full_stage: None,
+            ys_buf: Vec::new(),
         })
     }
 
@@ -347,31 +352,28 @@ impl BatchDecoder {
             return None;
         }
         let fp = self.fp;
-        let ys: Vec<FpElem> = ys.iter().map(|&y| fp.reduce(y)).collect();
+        self.ys_buf.clear();
+        self.ys_buf.extend(ys.iter().map(|&y| fp.reduce(y)));
         for (rung, e) in [0, self.budget].into_iter().enumerate() {
             if rung > 0 && e == 0 {
                 break; // budget 0: the clean rung was the only one
             }
             let q_len = self.degree + e + 1;
-            // Per-codeword columns first (they borrow `xpow` immutably).
-            let e_cols: Vec<Vec<FpElem>> = (0..=e)
-                .map(|j| {
-                    (0..n)
-                        .map(|i| fp.neg(fp.mul(ys[i], self.xpow[i][j])))
-                        .collect()
-                })
-                .collect();
             let xpow = &self.xpow;
+            let ys = &self.ys_buf;
             let stage = if rung == 0 {
                 &mut self.clean_stage
             } else {
                 &mut self.full_stage
             }
             .get_or_insert_with(|| build_stage(&fp, xpow, q_len));
-            // Push the y-dependent columns, read a kernel vector, rewind
-            // to the shared Q-block factorization.
+            // Push the y-dependent columns (built in recycled column
+            // buffers), read a kernel vector, rewind to the shared
+            // Q-block factorization.
             let mark = stage.mark();
-            for col in e_cols {
+            for j in 0..=e {
+                let mut col = stage.spare_col();
+                col.extend((0..n).map(|i| fp.neg(fp.mul(ys[i], xpow[i][j]))));
                 stage.push_col(&fp, col);
             }
             let kernel = stage.kernel_vector(&fp);
@@ -389,7 +391,7 @@ impl BatchDecoder {
                 return accept_candidate(
                     &fp,
                     &self.xs,
-                    &ys,
+                    ys,
                     self.degree,
                     self.budget,
                     &labels,

@@ -262,11 +262,11 @@ pub(crate) fn visible_slice<M: Clone>(
 pub(crate) fn stamp<M: Clone>(
     from: NodeId,
     beat: u64,
-    sends: Vec<(Target, M)>,
+    sends: &mut Vec<(Target, M)>,
     n: usize,
     out: &mut Vec<Envelope<M>>,
 ) {
-    for (target, msg) in sends {
+    for (target, msg) in sends.drain(..) {
         match target {
             Target::One(to) => out.push(Envelope {
                 from,
@@ -373,7 +373,9 @@ mod tests {
     #[test]
     fn stamp_expands_broadcast_to_all() {
         let mut out = Vec::new();
-        stamp(NodeId::new(1), 6, vec![(Target::All, 7u64)], 4, &mut out);
+        let mut sends = vec![(Target::All, 7u64)];
+        stamp(NodeId::new(1), 6, &mut sends, 4, &mut out);
+        assert!(sends.is_empty(), "stamp drains the send buffer for reuse");
         assert_eq!(out.len(), 4);
         assert!(out
             .iter()

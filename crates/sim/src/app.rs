@@ -35,20 +35,34 @@ pub trait Application {
 
     /// Transient fault: scramble all protocol state arbitrarily.
     fn corrupt(&mut self, rng: &mut SimRng);
+
+    /// Whether this node's state is fully independent of every other
+    /// node's — no shared interior mutability (`Arc<Mutex<…>>` beacons and
+    /// the like) whose observation order between nodes could change
+    /// results. Only stacks that return `true` on *all* correct nodes are
+    /// stepped concurrently inside a beat; anything else stays on the
+    /// serial path regardless of [`crate::SimBuilder::step_threads`].
+    /// Defaults to `false`: an application must opt in after auditing its
+    /// state.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 /// Collects one node's outgoing messages for a phase.
+///
+/// The send buffer is owned by the runner and recycled across beats — a
+/// steady-state send phase performs no allocation once the buffer has
+/// grown to the protocol's working size.
 pub struct Outbox<'a, M> {
-    sends: Vec<(Target, M)>,
+    sends: &'a mut Vec<(Target, M)>,
     rng: &'a mut SimRng,
 }
 
 impl<'a, M> Outbox<'a, M> {
-    pub(crate) fn new(rng: &'a mut SimRng) -> Self {
-        Outbox {
-            sends: Vec::new(),
-            rng,
-        }
+    pub(crate) fn new(sends: &'a mut Vec<(Target, M)>, rng: &'a mut SimRng) -> Self {
+        sends.clear();
+        Outbox { sends, rng }
     }
 
     /// Queue a unicast.
@@ -67,10 +81,6 @@ impl<'a, M> Outbox<'a, M> {
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
-
-    pub(crate) fn into_sends(self) -> Vec<(Target, M)> {
-        self.sends
-    }
 }
 
 #[cfg(test)]
@@ -79,14 +89,16 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn outbox_collects_in_order() {
+    fn outbox_collects_in_order_and_recycles_its_buffer() {
         let mut rng = SimRng::seed_from_u64(1);
-        let mut out = Outbox::new(&mut rng);
-        out.broadcast(1u64);
-        out.unicast(NodeId::new(2), 2u64);
-        let sends = out.into_sends();
-        assert_eq!(sends.len(), 2);
-        assert_eq!(sends[0], (Target::All, 1));
-        assert_eq!(sends[1], (Target::One(NodeId::new(2)), 2));
+        let mut buf = vec![(Target::All, 99u64)]; // stale content from a prior phase
+        {
+            let mut out = Outbox::new(&mut buf, &mut rng);
+            out.broadcast(1u64);
+            out.unicast(NodeId::new(2), 2u64);
+        }
+        assert_eq!(buf.len(), 2, "stale sends cleared on reuse");
+        assert_eq!(buf[0], (Target::All, 1));
+        assert_eq!(buf[1], (Target::One(NodeId::new(2)), 2));
     }
 }

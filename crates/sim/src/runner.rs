@@ -31,10 +31,53 @@ use crate::app::{Application, Outbox};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::stats::TrafficStats;
 use crate::timing::DeliveryScheduler;
-use crate::{Envelope, NodeId, SimRng, TimingModel, WireConfig};
+use crate::{Envelope, NodeId, SimRng, Target, TimingModel, WireConfig};
 use bytes::BytesMut;
 use rand::Rng;
 use std::collections::VecDeque;
+
+/// Applies `f` to every correct node's `(app, rng, buf)` triple, fanned
+/// across `threads` scoped worker threads (serial when `threads <= 1`).
+/// Each node touches only its own state, so the per-node results are
+/// independent of thread scheduling; callers that need a deterministic
+/// *combined* order read the buffers back in node-ID order afterwards.
+fn for_each_correct<A, T, F>(
+    apps: &mut [Option<A>],
+    rngs: &mut [SimRng],
+    bufs: &mut [T],
+    threads: usize,
+    f: F,
+) where
+    A: Send,
+    T: Send,
+    F: Fn(&mut A, &mut SimRng, &mut T) + Sync,
+{
+    if threads <= 1 {
+        for ((app, rng), buf) in apps.iter_mut().zip(rngs).zip(bufs) {
+            if let Some(app) = app {
+                f(app, rng, buf);
+            }
+        }
+        return;
+    }
+    let chunk = apps.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((apps, rngs), bufs) in apps
+            .chunks_mut(chunk)
+            .zip(rngs.chunks_mut(chunk))
+            .zip(bufs.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for ((app, rng), buf) in apps.iter_mut().zip(rngs).zip(bufs) {
+                    if let Some(app) = app {
+                        f(app, rng, buf);
+                    }
+                }
+            });
+        }
+    });
+}
 
 /// A running cluster: `n` nodes, one adversary, a fault plan, and a beat
 /// counter. Construct with [`crate::SimBuilder`].
@@ -68,6 +111,18 @@ pub struct Simulation<A: Application, Adv> {
     pending_phantoms: Vec<Envelope<A::Msg>>,
     blackout_until: u64,
     wire: WireConfig,
+    /// Requested in-beat thread count (see [`crate::SimBuilder::step_threads`]).
+    step_threads: usize,
+    /// Whether every correct application opted into concurrent stepping
+    /// ([`Application::parallel_safe`]); computed once at construction.
+    parallel_ok: bool,
+    /// Recycled per-node outbox buffers: cleared and refilled each send
+    /// phase, so steady-state sends allocate nothing.
+    send_bufs: Vec<Vec<(Target, A::Msg)>>,
+    /// Recycled envelope accumulator for the send/adversary half of a phase.
+    envelope_buf: Vec<Envelope<A::Msg>>,
+    /// Recycled per-node inboxes for the delivery half of a phase.
+    inboxes: Vec<Vec<Envelope<A::Msg>>>,
 }
 
 impl<A, Adv> Simulation<A, Adv>
@@ -92,7 +147,11 @@ where
         timing: TimingModel,
         delay_rng: SimRng,
         wire: WireConfig,
+        step_threads: usize,
     ) -> Self {
+        let parallel_ok = apps.iter().flatten().all(Application::parallel_safe);
+        let send_bufs = (0..n).map(|_| Vec::new()).collect();
+        let inboxes = (0..n).map(|_| Vec::new()).collect();
         Simulation {
             n,
             f,
@@ -113,6 +172,11 @@ where
             pending_phantoms: Vec::new(),
             blackout_until: 0,
             wire,
+            step_threads: step_threads.max(1),
+            parallel_ok,
+            send_bufs,
+            envelope_buf: Vec::new(),
+            inboxes,
         }
     }
 
@@ -195,8 +259,24 @@ where
             .filter_map(|(i, app)| app.as_ref().map(|a| (NodeId::new(i as u16), a)))
     }
 
+    /// The number of threads a [`Simulation::step`] will actually use:
+    /// the configured [`crate::SimBuilder::step_threads`], clamped to the
+    /// cluster size, and forced to 1 when any correct application did not
+    /// opt into [`Application::parallel_safe`].
+    pub fn effective_step_threads(&self) -> usize {
+        if self.parallel_ok {
+            self.step_threads.min(self.n).max(1)
+        } else {
+            1
+        }
+    }
+
     /// Runs one beat.
-    pub fn step(&mut self) {
+    pub fn step(&mut self)
+    where
+        A: Send,
+        A::Msg: Send,
+    {
         let phases = self
             .apps
             .iter()
@@ -204,23 +284,36 @@ where
             .next()
             .map_or(1, Application::phases);
         self.stats.begin_beat();
+        let threads = self.effective_step_threads();
 
         for phase in 0..phases {
-            // --- send phase: correct nodes ---
-            let mut envelopes: Vec<Envelope<A::Msg>> = Vec::new();
-            for i in 0..self.n {
-                if let Some(app) = self.apps[i].as_mut() {
-                    let mut out = Outbox::new(&mut self.node_rngs[i]);
+            // --- send phase: correct nodes, fanned across the pool ---
+            let mut send_bufs = std::mem::take(&mut self.send_bufs);
+            for_each_correct(
+                &mut self.apps,
+                &mut self.node_rngs,
+                &mut send_bufs,
+                threads,
+                |app, rng, buf| {
+                    let mut out = Outbox::new(buf, rng);
                     app.send(phase, &mut out);
+                },
+            );
+            // Collect in node-ID order: the combined envelope stream is
+            // byte-identical to the serial loop whatever the thread count.
+            let mut envelopes = std::mem::take(&mut self.envelope_buf);
+            for (i, buf) in send_bufs.iter_mut().enumerate() {
+                if self.apps[i].is_some() {
                     stamp(
                         NodeId::new(i as u16),
                         self.beat,
-                        out.into_sends(),
+                        buf,
                         self.n,
                         &mut envelopes,
                     );
                 }
             }
+            self.send_bufs = send_bufs;
             {
                 let format = self.wire.format;
                 let cur = self.stats.current();
@@ -279,11 +372,12 @@ where
 
             // --- route everything through the delivery scheduler ---
             // (crossing the byte boundary first, when the run has one)
-            for e in envelopes {
+            for e in envelopes.drain(..) {
                 if let Some(e) = self.reserialize(e) {
                     self.scheduler.schedule(self.beat, phase, e);
                 }
             }
+            self.envelope_buf = envelopes;
             for (delay, e) in byz_sends {
                 if let Some(e) = self.reserialize(e) {
                     self.scheduler.schedule_at(self.beat, phase, delay, e);
@@ -299,20 +393,29 @@ where
             // --- deliver what is due this (beat, phase) slot ---
             let due = self.scheduler.take_due(self.beat, phase);
             if self.beat >= self.blackout_until {
-                let mut per_node: Vec<Vec<Envelope<A::Msg>>> =
-                    (0..self.n).map(|_| Vec::new()).collect();
+                let mut inboxes = std::mem::take(&mut self.inboxes);
+                for inbox in &mut inboxes {
+                    inbox.clear();
+                }
                 for e in due {
                     let idx = e.to.index();
                     if idx < self.n {
-                        per_node[idx].push(e);
+                        inboxes[idx].push(e);
                     }
                 }
-                for (i, mut inbox) in per_node.into_iter().enumerate() {
-                    if let Some(app) = self.apps[i].as_mut() {
+                for_each_correct(
+                    &mut self.apps,
+                    &mut self.node_rngs,
+                    &mut inboxes,
+                    threads,
+                    |app, rng, inbox| {
+                        // Stable sort: a deterministic inbox order whatever
+                        // thread delivered it.
                         inbox.sort_by_key(|e| e.from);
-                        app.deliver(phase, &inbox, &mut self.node_rngs[i]);
-                    }
-                }
+                        app.deliver(phase, inbox, rng);
+                    },
+                );
+                self.inboxes = inboxes;
             }
             // else: envelopes due during a blackout are lost — Def. 2.2
             // only holds once the network is non-faulty again.
@@ -368,7 +471,11 @@ where
     }
 
     /// Runs exactly `beats` beats.
-    pub fn run_beats(&mut self, beats: u64) {
+    pub fn run_beats(&mut self, beats: u64)
+    where
+        A: Send,
+        A::Msg: Send,
+    {
         for _ in 0..beats {
             self.step();
         }
@@ -380,6 +487,8 @@ where
     pub fn run_until<P>(&mut self, max_beat: u64, pred: P) -> Option<u64>
     where
         P: Fn(&Self) -> bool,
+        A: Send,
+        A::Msg: Send,
     {
         loop {
             if pred(self) {
@@ -449,6 +558,9 @@ mod tests {
         fn corrupt(&mut self, _rng: &mut SimRng) {
             self.corrupted = true;
             self.counter = 999;
+        }
+        fn parallel_safe(&self) -> bool {
+            true
         }
     }
 
@@ -902,6 +1014,64 @@ mod tests {
             run(crate::WireConfig::fixed()),
             run(crate::WireConfig::packed())
         );
+    }
+
+    /// Parallel in-beat stepping is observationally identical to the
+    /// serial loop: states and traffic match bit-for-bit at every thread
+    /// count, including with faults and phantoms in the mix.
+    #[test]
+    fn parallel_step_matches_serial_step() {
+        let plan = || {
+            FaultPlan::new(vec![
+                FaultEvent {
+                    beat: 2,
+                    kind: FaultKind::CorruptNodes(vec![NodeId::new(1)]),
+                },
+                FaultEvent {
+                    beat: 3,
+                    kind: FaultKind::PhantomBurst { count: 5 },
+                },
+            ])
+        };
+        let run = |threads: usize| {
+            let mut sim = SimBuilder::new(9, 2)
+                .seed(7)
+                .step_threads(threads)
+                .faults(plan())
+                .build(
+                    move |cfg, _rng| Recorder {
+                        me: cfg.id,
+                        nphases: 2,
+                        round_trips: Vec::new(),
+                        counter: 0,
+                        corrupted: false,
+                    },
+                    SilentAdversary,
+                );
+            assert_eq!(sim.effective_step_threads(), threads.clamp(1, 9));
+            sim.run_beats(6);
+            let states: Vec<String> = sim.correct_apps().map(|(_, a)| format!("{a:?}")).collect();
+            (states, sim.stats().clone())
+        };
+        let serial = run(1);
+        for threads in [2, 3, 4, 16] {
+            assert_eq!(serial, run(threads), "step_threads={threads}");
+        }
+    }
+
+    /// An application that does not opt into `parallel_safe` pins the
+    /// whole run to the serial path no matter what the builder asks for.
+    #[test]
+    fn unsafe_apps_force_the_serial_path() {
+        let sim = SimBuilder::new(5, 1).seed(11).step_threads(8).build(
+            |cfg, _rng| WindowProbe {
+                me: cfg.id,
+                beat: 0,
+                arrivals: Vec::new(),
+            },
+            SilentAdversary,
+        );
+        assert_eq!(sim.effective_step_threads(), 1);
     }
 
     #[test]

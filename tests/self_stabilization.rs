@@ -27,7 +27,8 @@ fn storm(at: u64) -> FaultPlan {
 
 fn recovers<A, Adv>(mut sim: byzclock::sim::Simulation<A, Adv>, fault_at: u64, horizon: u64) -> bool
 where
-    A: Application + DigitalClock,
+    A: Application + DigitalClock + Send,
+    A::Msg: Send,
     Adv: Adversary<A::Msg>,
 {
     sim.run_beats(fault_at + 4); // past the fault and the blackout
