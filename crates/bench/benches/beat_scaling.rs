@@ -5,15 +5,20 @@
 //! run, the setup asserts the zero-alloc contract the `metrics=alloc`
 //! counters expose: once the pipeline is warm, stepping builds no new
 //! share storage and no new Berlekamp–Welch decoder — every beat runs on
-//! recycled buffers.
+//! recycled buffers. The committee rows extend the same contract to the
+//! subsampled coin at cluster sizes the full mesh cannot reach (n=512).
 
-use byzclock_coin::{CoinApp, TicketCoinScheme};
+use byzclock_coin::{
+    committee_epoch_seed, default_committee_size, CoinApp, CommitteeCoinScheme, TicketCoinScheme,
+    COMMITTEE_COIN_ROUNDS, COMMITTEE_EPOCH_BEATS,
+};
+use byzclock_core::CoinScheme;
 use byzclock_sim::{SilentAdversary, SimBuilder, Simulation};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-type CoinSim = Simulation<CoinApp<TicketCoinScheme>, SilentAdversary>;
+type CoinSim<S> = Simulation<CoinApp<S>, SilentAdversary>;
 
-fn coin_sim(n: usize, f: usize) -> CoinSim {
+fn coin_sim(n: usize, f: usize) -> CoinSim<TicketCoinScheme> {
     let mut sim = SimBuilder::new(n, f).seed(1).build(
         |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
         SilentAdversary,
@@ -23,23 +28,60 @@ fn coin_sim(n: usize, f: usize) -> CoinSim {
     sim
 }
 
-/// Cluster sizes to price (`BYZCLOCK_BEAT_SCALING_NS`, default
+fn committee_sim(n: usize, f: usize) -> CoinSim<CommitteeCoinScheme> {
+    let c = default_committee_size(n);
+    let epoch_seed = committee_epoch_seed(1);
+    let mut sim = SimBuilder::new(n, f).seed(1).build(
+        move |cfg, rng| CoinApp::new(CommitteeCoinScheme::new(cfg, c, epoch_seed), rng),
+        SilentAdversary,
+    );
+    // Warm one full rotation epoch plus twice the pipeline depth. Every
+    // node has served on a committee (the window covers the cluster every
+    // ⌈n/c⌉ beats), and — because the epoch flip re-randomizes the
+    // permutation — a node's last old-epoch membership can overlap its
+    // first new-epoch membership inside the pipeline, checking out a
+    // second storage. Those one-time builds retire (and hit the metrics)
+    // within 2·depth beats of the flip; after that, every mid-epoch beat
+    // recycles storage instead of building it, which is the window the
+    // zero-alloc assertion samples.
+    sim.run_beats(COMMITTEE_EPOCH_BEATS + 2 * COMMITTEE_COIN_ROUNDS as u64 + 6);
+    sim
+}
+
+/// Full-mesh cluster sizes to price (`BYZCLOCK_BEAT_SCALING_NS`, default
 /// `13,64,128`). The n=128 cell moves gigabytes of in-flight GVSS
 /// traffic per beat — minutes on one core — so constrained machines can
 /// trim the list without editing the bench.
 fn sizes() -> Vec<usize> {
-    std::env::var("BYZCLOCK_BEAT_SCALING_NS")
+    env_sizes("BYZCLOCK_BEAT_SCALING_NS", &[13, 64, 128])
+}
+
+/// Committee-subsampled cluster sizes to price
+/// (`BYZCLOCK_BEAT_SCALING_COMMITTEE_NS`, default `128,512`) — sizes the
+/// full mesh cannot reach; the subsampled beat stays cheap enough that
+/// even n=512 is seconds per iteration batch.
+fn committee_sizes() -> Vec<usize> {
+    env_sizes("BYZCLOCK_BEAT_SCALING_COMMITTEE_NS", &[128, 512])
+}
+
+fn env_sizes(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
         .ok()
         .map(|s| {
             s.split(',')
-                .map(|t| t.trim().parse().expect("BYZCLOCK_BEAT_SCALING_NS: bad n"))
+                .map(|t| t.trim().parse().unwrap_or_else(|_| panic!("{var}: bad n")))
                 .collect()
         })
-        .unwrap_or_else(|| vec![13, 64, 128])
+        .unwrap_or_else(|| default.to_vec())
 }
 
 /// Sums one `metrics=alloc` counter across all correct nodes.
-fn alloc_counter(sim: &CoinSim, key: &str) -> f64 {
+fn alloc_counter<S>(sim: &CoinSim<S>, key: &str) -> f64
+where
+    S: CoinScheme + Send,
+    S::Proto: Send,
+    <S::Proto as byzclock_core::RoundProtocol>::Msg: Send,
+{
     sim.correct_apps()
         .map(|(_, app)| {
             app.coin_metrics()
@@ -53,7 +95,12 @@ fn alloc_counter(sim: &CoinSim, key: &str) -> f64 {
 /// A warm pipeline steps allocation-free in the GVSS path: the storage
 /// and decoder build counters must not move across steady-state beats
 /// (reuse counters keep climbing — the beats do run).
-fn assert_steady_state_is_zero_alloc(sim: &mut CoinSim, n: usize) {
+fn assert_steady_state_is_zero_alloc<S>(sim: &mut CoinSim<S>, label: &str)
+where
+    S: CoinScheme + Send,
+    S::Proto: Send,
+    <S::Proto as byzclock_core::RoundProtocol>::Msg: Send,
+{
     let builds = alloc_counter(sim, "alloc_storage_builds");
     let decoders = alloc_counter(sim, "alloc_decoder_builds");
     let reuses = alloc_counter(sim, "alloc_storage_reuses");
@@ -61,16 +108,16 @@ fn assert_steady_state_is_zero_alloc(sim: &mut CoinSim, n: usize) {
     assert_eq!(
         alloc_counter(sim, "alloc_storage_builds"),
         builds,
-        "n={n}: steady-state beats built new GVSS storage"
+        "{label}: steady-state beats built new GVSS storage"
     );
     assert_eq!(
         alloc_counter(sim, "alloc_decoder_builds"),
         decoders,
-        "n={n}: steady-state beats built new decoders"
+        "{label}: steady-state beats built new decoders"
     );
     assert!(
         alloc_counter(sim, "alloc_storage_reuses") > reuses,
-        "n={n}: steady-state beats did not exercise the reuse path"
+        "{label}: steady-state beats did not exercise the reuse path"
     );
 }
 
@@ -80,8 +127,24 @@ fn bench_beat_scaling(c: &mut Criterion) {
     for n in sizes() {
         let f = (n - 1) / 3;
         let mut sim = coin_sim(n, f);
-        assert_steady_state_is_zero_alloc(&mut sim, n);
+        assert_steady_state_is_zero_alloc(&mut sim, &format!("n={n}"));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sim.step())
+        });
+    }
+    // The committee rows run fault-free. The full-mesh rows tolerate a
+    // silent f-set because its projection onto the (fixed) share pattern
+    // never changes, so the pattern-keyed decoder cache converges; under
+    // rotation the same fixed set projects onto a *different* committee
+    // every beat, and members would keep meeting fresh share patterns —
+    // a combinatorial key space no warmup can exhaust. With every sender
+    // present there is exactly one pattern (all c ranks), the cache holds
+    // one entry per node, and the bench prices the full send complement —
+    // the conservative per-beat cost.
+    for n in committee_sizes() {
+        let mut sim = committee_sim(n, 0);
+        assert_steady_state_is_zero_alloc(&mut sim, &format!("committee n={n}"));
+        group.bench_with_input(BenchmarkId::new("committee", n), &n, |b, _| {
             b.iter(|| sim.step())
         });
     }

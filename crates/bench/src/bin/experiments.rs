@@ -19,14 +19,15 @@
 //! each table cell is a replayable one-line spec (pass one back with
 //! `spec` to rerun a single point).
 
+use byzclock::coin::default_committee_size;
 use byzclock::scenario::{
     default_registry, AdversarySpec, CoinSpec, FaultPlanSpec, MetricsSpec, ProtocolRegistry,
     RunReport, ScenarioSpec, WireSpec,
 };
 use byzclock_bench::shard::{worker_exact_requested, worker_loop};
 use byzclock_bench::{
-    default_threads, md_table, parallel_trials, sweep_specs, sweep_specs_timed, trials, Summary,
-    SweepBackend, SweepOptions,
+    default_threads, m2_max_n, md_table, parallel_trials, power_law_exponent, sweep_specs,
+    sweep_specs_timed, trials, Summary, SweepBackend, SweepOptions,
 };
 use std::path::{Path, PathBuf};
 
@@ -130,8 +131,10 @@ fn main() {
     }
     if run_all || which == "m2" {
         // `all` stays interactive: the full curve's n=128/256 GVSS cells
-        // are minutes each and belong to an explicit `m2` invocation.
-        m2_beat_rate_grid(grid, if run_all { 64 } else { 256 });
+        // are minutes each and belong to an explicit `m2` invocation
+        // (which now runs to n=512 — the committee column carries the
+        // tail, so the default cap costs seconds, not hours).
+        m2_beat_rate_grid(grid, if run_all { 64 } else { 512 });
     }
     if run_all || which == "d1" {
         d1_bounded_delay_grid(grid);
@@ -804,32 +807,40 @@ fn m1_message_complexity(grid: GridOutput<'_>) {
 // M2: beats/sec × n throughput curve
 // ---------------------------------------------------------------------------
 
-/// The largest n the M2 grid runs: `BYZCLOCK_M2_MAX_N` if set, else
-/// `default_cap`. A standalone `experiments m2` defaults to the full
-/// curve (256); `all` caps at 64 so the every-table run stays
-/// interactive — the GVSS families' per-beat cost grows ~n⁴ (n² messages
-/// × n² bytes each), so the two largest cells dominate any run that
-/// includes them. CI smokes the 128 slice explicitly.
-fn m2_max_n(default_cap: usize) -> usize {
-    std::env::var("BYZCLOCK_M2_MAX_N")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default_cap)
-}
-
 fn m2_beat_rate_grid(grid: GridOutput<'_>, default_cap: usize) {
     let registry = default_registry();
-    let columns: [(&str, &str, CoinSpec); 3] = [
-        ("ClockSync (GVSS ticket)", "clock-sync", CoinSpec::Ticket),
-        ("Coin stream (GVSS ticket)", "coin-stream", CoinSpec::Ticket),
+    // (header, protocol, coin, committee-subsampled?) — the committee
+    // column runs the same clock-sync protocol over the subsampled coin
+    // (`committee=default_committee_size(n)`), so the gap to the full
+    // GVSS column is exactly the price of dealing to everyone.
+    let columns: [(&str, &str, CoinSpec, bool); 4] = [
+        (
+            "ClockSync (GVSS ticket)",
+            "clock-sync",
+            CoinSpec::Ticket,
+            false,
+        ),
+        (
+            "ClockSync (committee ticket)",
+            "clock-sync",
+            CoinSpec::Ticket,
+            true,
+        ),
+        (
+            "Coin stream (GVSS ticket)",
+            "coin-stream",
+            CoinSpec::Ticket,
+            false,
+        ),
         (
             "ClockSync (oracle coin)",
             "clock-sync",
             CoinSpec::perfect_oracle(),
+            false,
         ),
     ];
     let max_n = m2_max_n(default_cap);
-    let ns: Vec<usize> = [7usize, 13, 32, 64, 128, 256]
+    let ns: Vec<usize> = [7usize, 13, 32, 64, 128, 256, 512]
         .into_iter()
         .filter(|&n| n <= max_n)
         .collect();
@@ -848,22 +859,42 @@ fn m2_beat_rate_grid(grid: GridOutput<'_>, default_cap: usize) {
             _ => 5,
         }
     };
-    // One flat grid in cell order. At n=256 only the standalone coin
-    // stream runs — the clock-sync columns drive three coin pipelines
-    // each and would dominate the grid's wall-clock for one data point.
+    // One flat grid in cell order. The full-coin cells stop where their
+    // ~n⁴ per-beat cost would dominate the grid's wall-clock for one
+    // data point (clock-sync drives three coin pipelines per node and
+    // stops at n=128; the standalone coin stream stops at n=256). The
+    // committee and oracle columns are the cheap ones — they carry the
+    // curve to n=512. Committee cells run a 5-round pipeline and a
+    // rotation schedule, so they always get enough beats to price the
+    // steady-state mix across several committees.
     let mut specs = Vec::new();
     let mut cells: Vec<(usize, usize)> = Vec::new(); // (n, column index)
     for &n in &ns {
         let f = (n - 1) / 3;
-        for (ci, (_, protocol, coin)) in columns.iter().enumerate() {
-            if n > 128 && *protocol == "clock-sync" {
+        for (ci, (_, protocol, coin, committee)) in columns.iter().enumerate() {
+            let c = default_committee_size(n);
+            if *committee && c >= n {
+                // committee=n IS the full coin; skip the duplicate cell.
+                continue;
+            }
+            if !*committee && *protocol == "clock-sync" && n > 128 {
+                continue;
+            }
+            if *protocol == "coin-stream" && n > 256 {
                 continue;
             }
             let mut spec = ScenarioSpec::new(*protocol, n, f)
                 .with_coin(*coin)
                 .with_faults(FaultPlanSpec::none())
                 .with_seed(1)
-                .with_budget(budget(n));
+                .with_budget(if *committee {
+                    budget(n).max(24)
+                } else {
+                    budget(n)
+                });
+            if *committee {
+                spec = spec.with_committee(c);
+            }
             if *protocol == "clock-sync" {
                 spec = spec.with_modulus(64);
             }
@@ -872,6 +903,32 @@ fn m2_beat_rate_grid(grid: GridOutput<'_>, default_cap: usize) {
         }
     }
     let results = sweep_specs_timed(&registry, &specs, grid.backend, &grid.sweep_options(true));
+
+    // The committee family's headline number: the least-squares
+    // power-law exponent of its bytes/beat curve. The full coin is
+    // ~n⁴ here; with c(n) = Θ(√n) the committee's Θ(c⁴ + n·c) traffic
+    // is ~n², and anything ≥ 3 means the subsampling seam regressed.
+    // Asserted in both output modes, so the CI --jsonl slice enforces it.
+    let committee_points: Vec<(f64, f64)> = cells
+        .iter()
+        .zip(&results)
+        .filter(|((n, ci), _)| columns[*ci].3 && *n >= 32)
+        .filter_map(|((n, _), (report, _))| {
+            report
+                .as_ref()
+                .ok()
+                .map(|r| (*n as f64, r.traffic.mean_correct_bytes_per_beat))
+        })
+        .collect();
+    let committee_fit = (committee_points.len() >= 2).then(|| {
+        let fitted = power_law_exponent(&committee_points);
+        assert!(
+            fitted < 3.0,
+            "committee bytes/beat exponent {fitted:.2} >= 3 — the subsampled \
+             coin no longer breaks the n\u{2074} wall"
+        );
+        fitted
+    });
 
     if grid.jsonl {
         for (spec, (report, _)) in specs.iter().zip(&results) {
@@ -891,9 +948,14 @@ fn m2_beat_rate_grid(grid: GridOutput<'_>, default_cap: usize) {
         "Cells: beats/sec / bytes per beat (correct senders). Rates are\n\
          coordinator wall-clock over full-budget runs, so concurrent cells\n\
          share the machine — read them as scaling shape, not single-run\n\
-         peaks. Manifest-served cells did not run and show `cached`;\n\
-         clock-sync columns stop at n=128 (three coin pipelines per node);\n\
-         `BYZCLOCK_M2_MAX_N` caps the grid (CI runs the 128 slice).\n"
+         peaks. Manifest-served cells did not run and show `cached`.\n\
+         Full-coin clock-sync stops at n=128 (three GVSS pipelines per\n\
+         node) and the full coin stream at n=256; the committee column\n\
+         (`committee=c(n)`, c(n) = smallest c ≡ 1 mod 3 with\n\
+         c ≥ max(7, 1.5·√n)) carries the curve to n=512 and always runs\n\
+         ≥ 24 beats so the 5-round pipeline and the rotation schedule are\n\
+         priced at steady state. `BYZCLOCK_M2_MAX_N` caps the grid (CI\n\
+         runs the 128 slice).\n"
     );
     let mut rows = Vec::new();
     let mut it = cells.iter().zip(&results).peekable();
@@ -923,14 +985,26 @@ fn m2_beat_rate_grid(grid: GridOutput<'_>, default_cap: usize) {
         rows.push(row);
     }
     let headers: Vec<&str> = std::iter::once("cluster")
-        .chain(columns.iter().map(|(h, _, _)| *h))
+        .chain(columns.iter().map(|(h, _, _, _)| *h))
         .collect();
     println!("{}", md_table(&headers, &rows));
+    if let Some(fitted) = committee_fit {
+        let span = format!(
+            "n \u{2208} {{{}..{}}}",
+            committee_points[0].0 as usize,
+            committee_points[committee_points.len() - 1].0 as usize
+        );
+        println!(
+            "Committee bytes/beat fit over {span}: bytes/beat ~ n^{fitted:.2}\n\
+             (sub-quartic target: exponent < 3; the full coin grows ~n\u{2074}).\n"
+        );
+    }
     println!(
         "Shape check: the oracle column isolates the simulator + clock\n\
          layer (no GVSS algebra), so the gap between it and the ticket\n\
-         column is the per-beat price of three real coin pipelines. Both\n\
-         GVSS columns decay ~n³ (n² messages × O(n) share handling); the\n\
+         column is the per-beat price of three real coin pipelines. The\n\
+         full-GVSS columns decay ~n³ in rate (n² messages × O(n) share\n\
+         handling) while the committee column stays ~n·c in messages; the\n\
          in-beat parallel stepping (`BYZCLOCK_STEP_THREADS`) divides the\n\
          wall-clock without changing any report byte.\n"
     );

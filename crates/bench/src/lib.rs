@@ -24,7 +24,8 @@
 //! (the Fig. 1–4 contracts), `a1`/`a2` (the Remark 3.1/4.1 ablations),
 //! `r1` (resiliency boundary), `s1` (self-stabilization), `m1` (message
 //! complexity), `m2` (the beats/sec × n throughput curve — how fast one
-//! simulated beat runs as n scales to 256, plus bytes/beat), `d1`
+//! simulated beat runs as n scales to 512, plus bytes/beat and the
+//! committee column's fitted bytes/beat exponent), `d1`
 //! (lockstep vs bounded-delay degradation), `d2` (bd-clock delay
 //! tolerance). `all` (the default) runs everything.
 //! Every cell is produced through the scenario API, so each one is a
@@ -65,8 +66,10 @@
 //! `step_threads` default ([`step_threads_per_worker`]), so the two
 //! layers of parallelism never multiply; `BYZCLOCK_STEP_THREADS` pins the
 //! in-beat fan-out explicitly and wins over that split;
-//! `BYZCLOCK_M2_MAX_N` caps the largest n the `m2` grid runs (the CI
-//! smoke sets 128); `BYZCLOCK_BEAT_SCALING_NS` trims the cluster sizes
+//! `BYZCLOCK_M2_MAX_N` caps the largest n the `m2` grid runs
+//! ([`m2_max_n`]: a standalone `m2` defaults to the full 512-point
+//! curve, `all` caps at 64 to stay interactive, the CI smoke sets 128);
+//! `BYZCLOCK_BEAT_SCALING_NS` trims the cluster sizes
 //! `benches/beat_scaling.rs` prices; `PROPTEST_CASES` and
 //! `CRITERION_MEASURE_MS` keep the property tests and benches fast in
 //! CI.
@@ -255,6 +258,47 @@ pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// The largest n the M2 grid runs: `BYZCLOCK_M2_MAX_N` if set, else
+/// `default_cap`. The callers pick the cap by context: a standalone
+/// `experiments m2` defaults to the full curve (512, committee cells
+/// carrying the tail), while `all` caps at 64 so the every-table run
+/// stays interactive — the full-GVSS families' per-beat cost grows ~n⁴
+/// (n² messages × n² bytes each), so the largest full-coin cells
+/// dominate any run that includes them. CI smokes the 128 slice by
+/// exporting `BYZCLOCK_M2_MAX_N=128`.
+pub fn m2_max_n(default_cap: usize) -> usize {
+    std::env::var("BYZCLOCK_M2_MAX_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_cap)
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the fitted exponent
+/// `b` of a power law `y = a·x^b`. The M2 grid prints this for the
+/// committee column's bytes/beat curve (the committee family's headline
+/// claim is that it stays sub-cubic where the full coin grows ~n⁴).
+/// Returns `NaN` with fewer than two points or any non-positive
+/// coordinate.
+pub fn power_law_exponent(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 || points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+        return f64::NAN;
+    }
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let (sx, sy) = logs
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (mx, my) = (sx / n, sy / n);
+    let (num, den) = logs.iter().fold((0.0, 0.0), |(num, den), &(x, y)| {
+        (num + (x - mx) * (y - my), den + (x - mx) * (x - mx))
+    });
+    if den == 0.0 {
+        f64::NAN
+    } else {
+        num / den
+    }
+}
+
 /// Number of worker threads to use (respects `BYZCLOCK_THREADS`).
 pub fn default_threads() -> usize {
     std::env::var("BYZCLOCK_THREADS")
@@ -365,6 +409,37 @@ mod tests {
             out[1],
             Err(byzclock::scenario::ScenarioError::UnknownProtocol { .. })
         ));
+    }
+
+    #[test]
+    fn m2_max_n_prefers_the_env_knob_over_the_caller_cap() {
+        // The knob is process-global env, so probe both directions in one
+        // test body instead of racing parallel test threads over it.
+        std::env::remove_var("BYZCLOCK_M2_MAX_N");
+        assert_eq!(m2_max_n(512), 512, "unset env falls back to the cap");
+        assert_eq!(m2_max_n(64), 64, "`all` hands in its interactive cap");
+        std::env::set_var("BYZCLOCK_M2_MAX_N", "128");
+        assert_eq!(m2_max_n(512), 128, "the CI knob wins over the cap");
+        std::env::set_var("BYZCLOCK_M2_MAX_N", "not-a-number");
+        assert_eq!(m2_max_n(256), 256, "garbage env falls back to the cap");
+        std::env::remove_var("BYZCLOCK_M2_MAX_N");
+    }
+
+    #[test]
+    fn power_law_exponent_recovers_known_slopes() {
+        let quad: Vec<(f64, f64)> = [2.0f64, 8.0, 32.0, 128.0]
+            .iter()
+            .map(|&x| (x, 3.0 * x * x))
+            .collect();
+        assert!((power_law_exponent(&quad) - 2.0).abs() < 1e-9);
+        let cubic: Vec<(f64, f64)> = [4.0f64, 16.0, 64.0]
+            .iter()
+            .map(|&x| (x, 0.5 * x * x * x))
+            .collect();
+        assert!((power_law_exponent(&cubic) - 3.0).abs() < 1e-9);
+        assert!(power_law_exponent(&[(1.0, 1.0)]).is_nan());
+        assert!(power_law_exponent(&[(1.0, 1.0), (0.0, 2.0)]).is_nan());
+        assert!(power_law_exponent(&[(5.0, 1.0), (5.0, 2.0)]).is_nan());
     }
 
     #[test]

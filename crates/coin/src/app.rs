@@ -72,6 +72,11 @@ impl<S: CoinScheme> Application for CoinApp<S> {
         self.coin.corrupt(rng);
     }
 
+    fn begin_beat(&mut self, beat: u64) {
+        use byzclock_core::RandSource as _;
+        self.coin.begin_beat(beat);
+    }
+
     fn parallel_safe(&self) -> bool {
         use byzclock_core::RandSource as _;
         self.coin.independent()

@@ -35,12 +35,18 @@ pub mod adversary;
 pub mod scenario;
 
 mod app;
+mod committee;
 mod gvss;
 mod messages;
 mod ticket;
 mod xor;
 
 pub use app::{coin_stats, measure_coin, CoinApp, CoinAppMsg, CoinStats};
+pub use committee::{
+    committee_epoch_seed, committee_fault_budget, committee_members, default_committee_size,
+    CommitteeCoinProto, CommitteeCoinScheme, CommitteeMsg, COMMITTEE_COIN_ROUNDS,
+    COMMITTEE_EPOCH_BEATS,
+};
 pub use gvss::{AllocStats, DecodeStats, Grade, GvssCore, GvssWorkspace};
 pub use messages::CoinMsg;
 pub use ticket::{TicketCoinProto, TicketCoinScheme, TICKET_COIN_ROUNDS};
@@ -94,6 +100,37 @@ pub fn ticket_clock_sync(cfg: NodeCfg, k: u64, rng: &mut SimRng) -> TicketClockS
         ticket_coin(cfg, rng),
         ticket_coin(cfg, rng),
         ticket_coin(cfg, rng),
+    )
+}
+
+/// The pipelined committee-subsampled ticket coin.
+pub type CommitteeCoin = PipelinedCoin<CommitteeCoinScheme>;
+
+/// `ss-Byz-Clock-Sync` over the committee coin — the sub-quartic stack.
+pub type CommitteeClockSync = ClockSync<CommitteeCoin>;
+
+/// Builds a pipelined committee coin for one node (committee size `c`,
+/// rotation keyed on `epoch_seed` — derive it with
+/// [`committee_epoch_seed`] so fault plans can target the schedule).
+pub fn committee_coin(cfg: NodeCfg, c: usize, epoch_seed: u64, rng: &mut SimRng) -> CommitteeCoin {
+    PipelinedCoin::new(CommitteeCoinScheme::new(cfg, c, epoch_seed), rng)
+}
+
+/// Builds `ss-Byz-Clock-Sync` for modulus `k` over the committee coin
+/// (three pipelines sharing one rotation schedule).
+pub fn committee_clock_sync(
+    cfg: NodeCfg,
+    k: u64,
+    c: usize,
+    epoch_seed: u64,
+    rng: &mut SimRng,
+) -> CommitteeClockSync {
+    ClockSync::new(
+        cfg,
+        k,
+        committee_coin(cfg, c, epoch_seed, rng),
+        committee_coin(cfg, c, epoch_seed, rng),
+        committee_coin(cfg, c, epoch_seed, rng),
     )
 }
 

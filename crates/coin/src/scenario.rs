@@ -7,8 +7,9 @@
 use crate::adversary::{CoinNoiseAdversary, InconsistentDealer, RecoverEquivocator};
 use crate::app::{coin_stats, CoinApp, CoinAppMsg};
 use crate::{
-    ticket_clock_sync, ticket_coin, ticket_four_clock, ticket_two_clock, xor_coin,
-    TicketCoinScheme, XorCoinScheme,
+    committee_clock_sync, committee_epoch_seed, committee_fault_budget, ticket_clock_sync,
+    ticket_coin, ticket_four_clock, ticket_two_clock, xor_coin, CommitteeCoin, CommitteeCoinScheme,
+    TicketCoinScheme, XorCoinScheme, COMMITTEE_EPOCH_BEATS,
 };
 use byzclock_core::scenario::{
     builder_for, clock_adversary, delay_extras, four_clock_extras, recursive_levels, AdversarySpec,
@@ -36,6 +37,19 @@ fn unsupported_coin(spec: &ScenarioSpec) -> ScenarioError {
     ScenarioError::UnsupportedCoin {
         protocol: spec.protocol.clone(),
         coin: spec.coin.to_string(),
+    }
+}
+
+/// Families that run the ticket coin but have no committee wiring reject
+/// `committee=` loudly instead of silently running the full coin.
+fn reject_committee(spec: &ScenarioSpec) -> Result<(), ScenarioError> {
+    match spec.committee {
+        Some(c) => Err(ScenarioError::InvalidSpec(format!(
+            "committee={c} is only wired into the clock-sync and coin-stream families; \
+             `{}` always runs the full coin",
+            spec.protocol
+        ))),
+        None => Ok(()),
     }
 }
 
@@ -112,6 +126,70 @@ where
     alloc_extras(sim.correct_apps().map(|(_, app)| app.coin_metrics()))
 }
 
+/// The committee parameters echoed into a report's extras, read off the
+/// scheme a correct node is actually running (`None` committee specs and
+/// the degenerate `c = n` delegation report nothing — their reports stay
+/// identical to the full-coin family's).
+fn committee_extras_of<Adv>(sim: &Simulation<ClockSync<CommitteeCoin>, Adv>) -> Vec<(String, f64)>
+where
+    Adv: Adversary<<ClockSync<CommitteeCoin> as Application>::Msg>,
+{
+    let Some((_, app)) = sim.correct_apps().next() else {
+        return Vec::new();
+    };
+    let scheme = app.rand_source().scheme();
+    committee_extra_pairs(scheme.committee_size())
+}
+
+/// The extras triple shared by the clock-sync and coin-stream adapters.
+fn committee_extra_pairs(c: usize) -> Vec<(String, f64)> {
+    vec![
+        ("committee_size".to_string(), c as f64),
+        (
+            "committee_fault_budget".to_string(),
+            committee_fault_budget(c) as f64,
+        ),
+        (
+            "committee_epoch_beats".to_string(),
+            COMMITTEE_EPOCH_BEATS as f64,
+        ),
+    ]
+}
+
+/// Extras sampler for `clock-sync … committee=c` (no `metrics=`).
+fn committee_clock_sync_extras<Adv>(
+    sim: &Simulation<ClockSync<CommitteeCoin>, Adv>,
+) -> Vec<(String, f64)>
+where
+    Adv: Adversary<<ClockSync<CommitteeCoin> as Application>::Msg>,
+{
+    committee_extras_of(sim)
+}
+
+/// Extras sampler for `clock-sync … committee=c metrics=decode`.
+fn committee_clock_sync_decode_extras<Adv>(
+    sim: &Simulation<ClockSync<CommitteeCoin>, Adv>,
+) -> Vec<(String, f64)>
+where
+    Adv: Adversary<<ClockSync<CommitteeCoin> as Application>::Msg>,
+{
+    let mut extras = committee_extras_of(sim);
+    extras.extend(clock_sync_decode_extras(sim));
+    extras
+}
+
+/// Extras sampler for `clock-sync … committee=c metrics=alloc`.
+fn committee_clock_sync_alloc_extras<Adv>(
+    sim: &Simulation<ClockSync<CommitteeCoin>, Adv>,
+) -> Vec<(String, f64)>
+where
+    Adv: Adversary<<ClockSync<CommitteeCoin> as Application>::Msg>,
+{
+    let mut extras = committee_extras_of(sim);
+    extras.extend(clock_sync_alloc_extras(sim));
+    extras
+}
+
 /// `ss-Byz-2-Clock` over a real pipelined coin.
 struct CoinTwoClockFamily;
 
@@ -127,11 +205,13 @@ impl ProtocolFamily for CoinTwoClockFamily {
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
         match spec.coin {
             CoinSpec::Ticket => {
+                reject_committee(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec).build(ticket_two_clock, adversary);
                 Ok(Box::new(ClockRun::new(sim)))
             }
             CoinSpec::Xor => {
+                reject_committee(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec)
                     .build(|cfg, rng| TwoClock::new(cfg, xor_coin(cfg, rng)), adversary);
@@ -158,6 +238,7 @@ impl ProtocolFamily for CoinFourClockFamily {
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
         match spec.coin {
             CoinSpec::Ticket => {
+                reject_committee(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec).build(ticket_four_clock, adversary);
                 Ok(Box::new(ClockRun::with_extras(
@@ -166,6 +247,7 @@ impl ProtocolFamily for CoinFourClockFamily {
                 )))
             }
             CoinSpec::Xor => {
+                reject_committee(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec).build(
                     |cfg, rng| FourClock::new(cfg, xor_coin(cfg, rng), xor_coin(cfg, rng)),
@@ -196,6 +278,7 @@ impl ProtocolFamily for SharedFourClockFamily {
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
         match spec.coin {
             CoinSpec::Ticket => {
+                reject_committee(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec).build(
                     |cfg, rng| SharedFourClock::new(cfg, ticket_coin(cfg, rng)),
@@ -224,6 +307,35 @@ impl ProtocolFamily for CoinClockSyncFamily {
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
         match spec.coin {
             CoinSpec::Ticket => {
+                if let Some(c) = spec.committee {
+                    if c < spec.n {
+                        let adversary = clock_adversary(spec, None)?;
+                        let k = spec.clock_modulus;
+                        let epoch_seed = committee_epoch_seed(spec.seed);
+                        let sim = builder_for(spec).build(
+                            move |cfg, rng| committee_clock_sync(cfg, k, c, epoch_seed, rng),
+                            adversary,
+                        );
+                        return Ok(match spec.metrics {
+                            MetricsSpec::Decode => Box::new(ClockRun::with_extras(
+                                sim,
+                                committee_clock_sync_decode_extras,
+                            )),
+                            MetricsSpec::Alloc => Box::new(ClockRun::with_extras(
+                                sim,
+                                committee_clock_sync_alloc_extras,
+                            )),
+                            MetricsSpec::None => {
+                                Box::new(ClockRun::with_extras(sim, committee_clock_sync_extras))
+                            }
+                        });
+                    }
+                    // c == n: the committee is everyone, the relay round
+                    // would only re-announce what every node already
+                    // recovered — run the full ticket stack, so the
+                    // degenerate spec reports identically to the plain
+                    // family (pinned by a property test).
+                }
                 let adversary = clock_adversary(spec, None)?;
                 let k = spec.clock_modulus;
                 let sim = builder_for(spec)
@@ -261,6 +373,7 @@ impl ProtocolFamily for CoinRecursiveFamily {
     fn spawn(&self, spec: &ScenarioSpec) -> Result<Box<dyn ScenarioRun>, ScenarioError> {
         match spec.coin {
             CoinSpec::Ticket => {
+                reject_committee(spec)?;
                 let levels = recursive_levels(spec)?;
                 let adversary = clock_adversary(spec, None)?;
                 let sim = builder_for(spec).build(
@@ -294,20 +407,62 @@ impl ProtocolFamily for CoinStreamFamily {
         let instrument = spec.metrics;
         match spec.coin {
             CoinSpec::Ticket => {
+                if let Some(c) = spec.committee {
+                    if c < spec.n {
+                        // The committee stream's wire type is
+                        // `SlotMsg<CommitteeMsg>`, which the coin-round
+                        // attackers (built against `SlotMsg<CoinMsg>`)
+                        // cannot speak; committee-targeting corruption
+                        // goes through `faults=corrupt@…` instead.
+                        let adversary: Box<dyn Adversary<CoinAppMsg<CommitteeCoinScheme>>> =
+                            match spec.adversary {
+                                AdversarySpec::Silent => Box::new(SilentAdversary),
+                                _ => {
+                                    return Err(ScenarioError::UnsupportedAdversary {
+                                        protocol: spec.protocol.clone(),
+                                        adversary: spec.adversary.to_string(),
+                                    })
+                                }
+                            };
+                        let epoch_seed = committee_epoch_seed(spec.seed);
+                        let sim = builder_for(spec).build(
+                            move |cfg, rng| {
+                                CoinApp::new(CommitteeCoinScheme::new(cfg, c, epoch_seed), rng)
+                            },
+                            adversary,
+                        );
+                        return Ok(Box::new(CoinStreamRun {
+                            sim,
+                            instrument,
+                            committee: Some(c),
+                        }));
+                    }
+                    // c == n: degenerate to the full ticket stream (see
+                    // the clock-sync family above).
+                }
                 let adversary = coin_adversary::<TicketCoinScheme>(spec, spec.n)?;
                 let sim = builder_for(spec).build(
                     |cfg, rng| CoinApp::new(TicketCoinScheme::new(cfg), rng),
                     adversary,
                 );
-                Ok(Box::new(CoinStreamRun { sim, instrument }))
+                Ok(Box::new(CoinStreamRun {
+                    sim,
+                    instrument,
+                    committee: None,
+                }))
             }
             CoinSpec::Xor => {
+                reject_committee(spec)?;
                 let adversary = coin_adversary::<XorCoinScheme>(spec, 1)?;
                 let sim = builder_for(spec).build(
                     |cfg, rng| CoinApp::new(XorCoinScheme::new(cfg), rng),
                     adversary,
                 );
-                Ok(Box::new(CoinStreamRun { sim, instrument }))
+                Ok(Box::new(CoinStreamRun {
+                    sim,
+                    instrument,
+                    committee: None,
+                }))
             }
             _ => Err(unsupported_coin(spec)),
         }
@@ -351,6 +506,11 @@ where
 struct CoinStreamRun<S: CoinScheme, Adv: Adversary<CoinAppMsg<S>>> {
     sim: Simulation<CoinApp<S>, Adv>,
     instrument: MetricsSpec,
+    /// `Some(c)` for a committee-subsampled stream: echo the committee
+    /// parameters into the extras. `None` (full coin, or the degenerate
+    /// `c = n` delegation) reports nothing, keeping those reports
+    /// identical to the historical full-coin ones.
+    committee: Option<usize>,
 }
 
 impl<S, Adv> ScenarioRun for CoinStreamRun<S, Adv>
@@ -389,6 +549,9 @@ where
             ("agreement_rate".to_string(), stats.agreement_rate()),
             ("measured_beats".to_string(), stats.beats as f64),
         ];
+        if let Some(c) = self.committee {
+            extras.extend(committee_extra_pairs(c));
+        }
         match self.instrument {
             MetricsSpec::Decode => extras.extend(decode_extras(
                 self.sim.correct_apps().map(|(_, app)| app.coin_metrics()),
@@ -549,6 +712,89 @@ mod tests {
         assert!(report.converged_at.is_some(), "{report:?}");
         assert!(report.extra("decode_batches").unwrap() > 0.0, "{report:?}");
         assert!(report.extra("decode_mean_batch").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn committee_clock_sync_spec_runs_and_reports_the_committee() {
+        let spec = ScenarioSpec::parse(
+            "clock-sync n=16 f=1 k=8 coin=ticket committee=7 adv=silent faults=corrupt-start \
+             seed=2 budget=400",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert!(report.converged_at.is_some(), "{report:?}");
+        assert_eq!(report.extra("committee_size"), Some(7.0));
+        assert_eq!(report.extra("committee_fault_budget"), Some(2.0));
+        assert_eq!(report.extra("committee_epoch_beats"), Some(64.0));
+        // Deterministic like every other family.
+        assert_eq!(registry().run(&spec).unwrap(), report);
+    }
+
+    #[test]
+    fn committee_coin_stream_reports_quality_and_committee_extras() {
+        let spec = ScenarioSpec::parse(
+            "coin-stream n=16 f=1 coin=ticket committee=7 adv=silent faults=none seed=11 \
+             budget=60",
+        )
+        .unwrap();
+        let report = registry().run(&spec).unwrap();
+        assert!(
+            report.extra("agreement_rate").unwrap() > 0.9,
+            "relay acceptance must keep cluster-wide agreement: {report:?}"
+        );
+        assert_eq!(report.extra("committee_size"), Some(7.0));
+        assert_eq!(report.extra("committee_epoch_beats"), Some(64.0));
+    }
+
+    #[test]
+    fn committee_only_fits_the_wired_families() {
+        for line in [
+            "two-clock n=16 f=1 coin=ticket committee=7 budget=100",
+            "four-clock n=16 f=1 coin=ticket committee=7 budget=100",
+            "shared-four-clock n=16 f=1 coin=ticket committee=7 budget=100",
+            "recursive n=16 f=1 k=8 coin=ticket committee=7 budget=100",
+        ] {
+            let spec = ScenarioSpec::parse(line).unwrap();
+            match registry().run(&spec) {
+                Err(ScenarioError::InvalidSpec(msg)) => {
+                    assert!(msg.contains("committee=7"), "{msg}")
+                }
+                other => panic!("`{line}`: expected InvalidSpec, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn committee_stream_rejects_coin_round_attackers() {
+        // The coin-round attackers speak SlotMsg<CoinMsg>, not the relay
+        // wire type; the spec layer refuses rather than silently running
+        // an attacker that sends undecodable traffic.
+        let spec = ScenarioSpec::parse(
+            "coin-stream n=16 f=1 coin=ticket committee=7 adv=coin-noise:4 faults=none \
+             budget=40",
+        )
+        .unwrap();
+        match registry().run(&spec) {
+            Err(ScenarioError::UnsupportedAdversary { .. }) => {}
+            other => panic!("expected UnsupportedAdversary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_full_size_committee_matches_the_full_coin_family() {
+        // committee=n delegates to the plain ticket stack: everything but
+        // the spec echo is identical.
+        let full = ScenarioSpec::parse(
+            "coin-stream n=7 f=2 coin=ticket adv=silent faults=none seed=11 budget=40",
+        )
+        .unwrap();
+        let degenerate = full.clone().with_committee(7);
+        let registry = registry();
+        let a = registry.run(&full).unwrap();
+        let b = registry.run(&degenerate).unwrap();
+        assert_eq!(a.extras, b.extras);
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.beats, b.beats);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct TicketCoinProto {
 }
 
 impl TicketCoinProto {
-    fn new(cfg: NodeCfg, workspace: GvssWorkspace) -> Self {
+    /// Also used by the committee coin, which runs a rank-space ticket
+    /// instance among the committee members.
+    pub(crate) fn new(cfg: NodeCfg, workspace: GvssWorkspace) -> Self {
         TicketCoinProto {
             cfg,
             gvss: GvssCore::with_workspace(cfg, cfg.n, workspace),

@@ -181,6 +181,12 @@ impl<R: RandSource> ClockSync<R> {
         &self.four
     }
 
+    /// The top-level coin pipeline (observability — scenario adapters
+    /// read scheme parameters, e.g. the committee size, off it).
+    pub fn rand_source(&self) -> &R {
+        &self.rand_source
+    }
+
     /// [`RandSource::metrics`] summed over this clock's three coin
     /// pipelines (`A1`, `A2`, top level) — how scenario adapters surface
     /// coin instrumentation (decode batch counts) in report extras.
@@ -390,6 +396,11 @@ impl<R: RandSource> Application for ClockSync<R> {
             .into_iter()
             .map(|(id, v)| (id, v % 2 == 0))
             .collect();
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        self.four.begin_beat(beat);
+        self.rand_source.begin_beat(beat);
     }
 
     fn parallel_safe(&self) -> bool {

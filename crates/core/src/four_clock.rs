@@ -215,6 +215,14 @@ impl<R: RandSource> FourClock<R> {
         self.a2.scramble(rng);
         self.gate_a2 = rng.random();
     }
+
+    /// Forwards the runner's beat index to both sub-clocks' coins
+    /// (unconditionally — the `A2` gate applies to sends, not to observing
+    /// the beat, so a gated pipeline still rotates in step).
+    pub fn begin_beat(&mut self, beat: u64) {
+        self.a1.begin_beat(beat);
+        self.a2.begin_beat(beat);
+    }
 }
 
 impl<R: RandSource> DigitalClock for FourClock<R> {
@@ -251,6 +259,10 @@ impl<R: RandSource> Application for FourClock<R> {
 
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.scramble(rng);
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        FourClock::begin_beat(self, beat);
     }
 
     fn parallel_safe(&self) -> bool {
@@ -444,6 +456,10 @@ impl<R: RandSource> Application for SharedFourClock<R> {
         self.rand_source.corrupt(rng);
         self.rand_this_beat = rng.random();
         self.gate_a2 = rng.random();
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        self.rand_source.begin_beat(beat);
     }
 
     fn parallel_safe(&self) -> bool {

@@ -47,6 +47,13 @@ pub trait RandSource {
         Vec::new()
     }
 
+    /// Observes the runner's global beat index, forwarded from
+    /// [`byzclock_sim::Application::begin_beat`] at the top of each beat.
+    /// Beat-oblivious sources keep the no-op default; [`PipelinedCoin`]
+    /// forwards to its scheme so beat-keyed instance factories (committee
+    /// rotation) spawn consistently across nodes.
+    fn begin_beat(&mut self, _beat: u64) {}
+
     /// Whether this source's state is confined to its own node — no
     /// shared interior mutability whose cross-node observation order
     /// could change results. [`OracleRand`] reads a beacon shared by the
@@ -82,6 +89,12 @@ impl<S: CoinScheme> PipelinedCoin<S> {
     pub fn depth(&self) -> usize {
         self.pipeline.depth()
     }
+
+    /// The scheme this pipeline spawns instances from (scenario layers read
+    /// scheme constants — e.g. the committee size — for report extras).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
 }
 
 impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
@@ -103,6 +116,10 @@ impl<S: CoinScheme> RandSource for PipelinedCoin<S> {
 
     fn metrics(&self) -> Vec<(&'static str, f64)> {
         self.pipeline.retired_metrics().to_vec()
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        self.scheme.begin_beat(beat);
     }
 
     fn independent(&self) -> bool {

@@ -174,6 +174,12 @@ impl<R: RandSource> Application for RecursiveClock<R> {
         }
     }
 
+    fn begin_beat(&mut self, beat: u64) {
+        for level in &mut self.levels {
+            level.begin_beat(beat);
+        }
+    }
+
     fn parallel_safe(&self) -> bool {
         self.levels.iter().all(Application::parallel_safe)
     }

@@ -95,6 +95,13 @@ pub trait CoinScheme: Clone {
 
     /// Creates a fresh, properly initialized instance.
     fn spawn(&self, rng: &mut SimRng) -> Self::Proto;
+
+    /// Observes the runner's global beat index, forwarded from
+    /// [`byzclock_sim::Application::begin_beat`] before any send of the
+    /// beat. Schemes whose spawned instances depend on the beat (the
+    /// committee coin's rotation schedule) override this; beat-oblivious
+    /// schemes keep the no-op default.
+    fn begin_beat(&mut self, _beat: u64) {}
 }
 
 #[cfg(test)]

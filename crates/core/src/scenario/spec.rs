@@ -512,6 +512,15 @@ pub struct ScenarioSpec {
     pub clock_modulus: u64,
     /// Randomness substrate.
     pub coin: CoinSpec,
+    /// Committee size `c` for the subsampled ticket-coin family
+    /// (`committee=c`): each beat a deterministic, seed-rotated committee
+    /// of `c` nodes runs the full GVSS rounds among themselves and relays
+    /// the recovered bit to everyone else, cutting per-beat coin traffic
+    /// from Θ(n⁴) to Θ(c⁴ + n·c). `None` (the default, omitted from spec
+    /// lines so historical lines and golden reports are unchanged) means
+    /// every node deals — the full ticket coin. Requires `coin=ticket`
+    /// and `4 <= c <= n`.
+    pub committee: Option<usize>,
     /// Byzantine strategy.
     pub adversary: AdversarySpec,
     /// Transient faults and boot corruption.
@@ -549,6 +558,7 @@ impl ScenarioSpec {
             f,
             clock_modulus: 8,
             coin: CoinSpec::Ticket,
+            committee: None,
             adversary: AdversarySpec::Silent,
             fault_plan: FaultPlanSpec::corrupt_start(),
             delay: 0,
@@ -569,6 +579,12 @@ impl ScenarioSpec {
     /// Sets the coin.
     pub fn with_coin(mut self, coin: CoinSpec) -> Self {
         self.coin = coin;
+        self
+    }
+
+    /// Selects the committee-subsampled coin with committee size `c`.
+    pub fn with_committee(mut self, c: usize) -> Self {
+        self.committee = Some(c);
         self
     }
 
@@ -662,6 +678,28 @@ impl ScenarioSpec {
         if self.clock_modulus == 0 {
             return fail("clock modulus k must be at least 1".into());
         }
+        if let Some(c) = self.committee {
+            // The committee runs its own GVSS with budget f_c = (c-1)/3;
+            // c >= 4 is the smallest committee with f_c >= 1 (c > 3f_c).
+            if c < 4 {
+                return fail(format!(
+                    "committee size c={c} must be at least 4 (the committee's own n > 3f)"
+                ));
+            }
+            if c > self.n {
+                return fail(format!(
+                    "committee size c={c} exceeds the cluster size n={}",
+                    self.n
+                ));
+            }
+            if self.coin != CoinSpec::Ticket {
+                return fail(format!(
+                    "committee={c} subsamples the GVSS ticket coin; it requires coin=ticket, \
+                     not coin={}",
+                    self.coin
+                ));
+            }
+        }
         if self.beat_budget == 0 {
             return fail("beat budget must be at least 1".into());
         }
@@ -692,8 +730,20 @@ impl ScenarioSpec {
     /// The keys [`ScenarioSpec::parse`] understands, in canonical order —
     /// kept next to the `match` below so diagnostics never drift from the
     /// parser.
-    pub const KEYS: [&'static str; 12] = [
-        "n", "f", "k", "coin", "adv", "faults", "delay", "byz", "metrics", "wire", "seed", "budget",
+    pub const KEYS: [&'static str; 13] = [
+        "n",
+        "f",
+        "k",
+        "coin",
+        "committee",
+        "adv",
+        "faults",
+        "delay",
+        "byz",
+        "metrics",
+        "wire",
+        "seed",
+        "budget",
     ];
 
     /// Parses the single-line form (see the type-level example).
@@ -727,6 +777,7 @@ impl ScenarioSpec {
                 }
                 "k" => spec.clock_modulus = num(value)?,
                 "coin" => spec.coin = value.parse()?,
+                "committee" => spec.committee = Some(num(value)? as usize),
                 "adv" => spec.adversary = value.parse()?,
                 "faults" => spec.fault_plan = value.parse()?,
                 "delay" => spec.delay = num(value)?,
@@ -767,15 +818,15 @@ impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} n={} f={} k={} coin={} adv={} faults={}",
-            self.protocol,
-            self.n,
-            self.f,
-            self.clock_modulus,
-            self.coin,
-            self.adversary,
-            self.fault_plan,
+            "{} n={} f={} k={} coin={}",
+            self.protocol, self.n, self.f, self.clock_modulus, self.coin,
         )?;
+        if let Some(c) = self.committee {
+            // Like `delay`: the key renders only when set, so historical
+            // full-coin spec lines stay byte-identical.
+            write!(f, " committee={c}")?;
+        }
+        write!(f, " adv={} faults={}", self.adversary, self.fault_plan)?;
         if self.delay != 0 {
             // Lockstep lines stay byte-identical to the pre-timing-model
             // era: the key only appears for bounded-delay scenarios.
@@ -926,6 +977,36 @@ mod tests {
     }
 
     #[test]
+    fn committee_knob_round_trips_and_defaults_off() {
+        let spec = ScenarioSpec::new("clock-sync", 128, 42);
+        assert_eq!(spec.committee, None);
+        assert!(!spec.to_string().contains("committee="));
+        let on = spec.with_committee(19);
+        let line = on.to_string();
+        assert!(line.contains(" coin=ticket committee=19 adv="), "{line}");
+        assert_eq!(ScenarioSpec::parse(&line).unwrap(), on);
+        // An omitted key leaves the full coin in place.
+        let parsed = ScenarioSpec::parse("clock-sync n=7 f=2 coin=ticket").unwrap();
+        assert_eq!(parsed.committee, None);
+    }
+
+    #[test]
+    fn committee_misconfigurations_are_rejected_with_a_diagnosis() {
+        // Too small for the committee's own n > 3f.
+        let err = ScenarioSpec::parse("clock-sync n=16 f=5 committee=3").unwrap_err();
+        assert!(err.to_string().contains("at least 4"), "{err}");
+        // Bigger than the cluster.
+        let err = ScenarioSpec::parse("clock-sync n=7 f=2 committee=8").unwrap_err();
+        assert!(err.to_string().contains("exceeds the cluster"), "{err}");
+        // Only the ticket coin can be subsampled.
+        let err = ScenarioSpec::parse("clock-sync n=16 f=5 coin=oracle committee=7").unwrap_err();
+        assert!(err.to_string().contains("coin=ticket"), "{err}");
+        // The boundary cases stay expressible.
+        assert!(ScenarioSpec::parse("clock-sync n=16 f=5 committee=4").is_ok());
+        assert!(ScenarioSpec::parse("clock-sync n=16 f=5 committee=16").is_ok());
+    }
+
+    #[test]
     fn metrics_knob_round_trips_and_defaults_off() {
         let spec = ScenarioSpec::new("clock-sync", 4, 1);
         assert_eq!(spec.metrics, MetricsSpec::None);
@@ -969,6 +1050,12 @@ mod tests {
             // ARCHITECTURE.md instrumentation examples
             "coin-stream n=7 f=2 coin=ticket faults=none metrics=decode budget=40",
             "coin-stream n=7 f=2 coin=ticket faults=none metrics=alloc budget=40",
+            // README/ARCHITECTURE.md committee-coin grammar example
+            "clock-sync n=128 f=42 k=8 coin=ticket committee=19 adv=silent \
+             faults=corrupt-start seed=1 budget=400",
+            // CI committee-at-scale smoke line
+            "clock-sync n=512 f=170 k=8 coin=ticket committee=34 adv=silent \
+             faults=corrupt-start seed=1 budget=400",
             // CI wire-codec smoke lines / ARCHITECTURE.md wire-format section
             "coin-stream n=7 f=2 coin=ticket adv=silent faults=none wire=packed seed=1 \
              budget=40",
@@ -993,6 +1080,7 @@ mod tests {
         // documented grammar, and Display can never disagree.
         let spec = ScenarioSpec::new("clock-sync", 7, 2)
             .with_modulus(64)
+            .with_committee(4)
             .with_delay(2)
             .with_byzantine([0, 3])
             .with_metrics(MetricsSpec::Decode)

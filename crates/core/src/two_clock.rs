@@ -244,6 +244,12 @@ impl<R: RandSource> TwoClock<R> {
         self.rand_source.corrupt(rng);
         self.last_rand = rng.random();
     }
+
+    /// Forwards the runner's beat index to the coin (see
+    /// [`RandSource::begin_beat`]).
+    pub fn begin_beat(&mut self, beat: u64) {
+        self.rand_source.begin_beat(beat);
+    }
 }
 
 impl<R: RandSource> DigitalClock for TwoClock<R> {
@@ -277,6 +283,10 @@ impl<R: RandSource> Application for TwoClock<R> {
 
     fn corrupt(&mut self, rng: &mut SimRng) {
         self.scramble(rng);
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        TwoClock::begin_beat(self, beat);
     }
 
     fn parallel_safe(&self) -> bool {
@@ -360,6 +370,10 @@ impl<R: RandSource> Application for BrokenTwoClock<R> {
         self.core.corrupt(rng);
         self.rand_source.corrupt(rng);
         self.prev_rand = rng.random();
+    }
+
+    fn begin_beat(&mut self, beat: u64) {
+        self.rand_source.begin_beat(beat);
     }
 
     fn parallel_safe(&self) -> bool {

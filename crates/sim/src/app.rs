@@ -26,6 +26,15 @@ pub trait Application {
         1
     }
 
+    /// Called on every correct node at the top of each beat, before any
+    /// phase's [`Application::send`], with the runner's global beat index.
+    /// Protocols whose behaviour depends on the beat (e.g. rotating coin
+    /// committees) override this; the default is a no-op. The beat index is
+    /// runner-owned configuration, not node state: [`Application::corrupt`]
+    /// does not scramble it, and the next `begin_beat` call re-synchronizes
+    /// every correct node regardless of prior state.
+    fn begin_beat(&mut self, _beat: u64) {}
+
     /// Emit this node's messages for the given phase of the current beat.
     fn send(&mut self, phase: usize, out: &mut Outbox<'_, Self::Msg>);
 

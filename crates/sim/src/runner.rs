@@ -283,6 +283,9 @@ where
             .flatten()
             .next()
             .map_or(1, Application::phases);
+        for app in self.apps.iter_mut().flatten() {
+            app.begin_beat(self.beat);
+        }
         self.stats.begin_beat();
         let threads = self.effective_step_threads();
 

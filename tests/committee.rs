@@ -1,0 +1,87 @@
+//! End-to-end properties of the committee-subsampled coin family.
+//!
+//! The load-bearing one is degeneracy: `committee=n` IS the full ticket
+//! coin — the registry delegates to the plain stack, so a spec's report
+//! is identical field for field (modulo the spec echo itself) whether or
+//! not the redundant key is present. That pins the committee seam as a
+//! pure generalization: historical full-coin results are a special case,
+//! not a separate code path that could drift.
+
+use byzclock::scenario::{default_registry, ScenarioSpec};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case runs two full scenario simulations (the vendored proptest
+    // shim runs `PROPTEST_CASES` cases, default 64 — clock runs stop at
+    // convergence, so this stays fast).
+    #[test]
+    fn full_size_committee_reports_identically(
+        n in 4usize..10,
+        seed in 0u64..1_000,
+        clock in any::<bool>(),
+    ) {
+        let f = (n - 1) / 3;
+        let full = if clock {
+            ScenarioSpec::new("clock-sync", n, f)
+                .with_modulus(8)
+                .with_budget(600)
+        } else {
+            ScenarioSpec::new("coin-stream", n, f).with_budget(40)
+        }
+        .with_seed(seed);
+        let degenerate = full.clone().with_committee(n);
+        let registry = default_registry();
+        let a = registry.run(&full).unwrap();
+        let mut b = registry.run(&degenerate).unwrap();
+        // Only the echoed spec line may differ — by exactly the
+        // `committee=` key.
+        prop_assert_ne!(&a.spec, &b.spec);
+        prop_assert!(b.spec.contains(&format!(" committee={n} ")), "{}", b.spec);
+        b.spec = a.spec.clone();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A strict committee (c < n) actually changes the traffic shape: the
+/// committee stack moves fewer bytes per beat than the full stack at the
+/// same cluster size — the point of the family.
+#[test]
+fn committee_traffic_is_cheaper_than_the_full_coin() {
+    let full = ScenarioSpec::parse(
+        "coin-stream n=32 f=1 coin=ticket adv=silent faults=none seed=5 budget=30",
+    )
+    .unwrap();
+    let committee = full.clone().with_committee(10);
+    let registry = default_registry();
+    let a = registry.run(&full).unwrap();
+    let b = registry.run(&committee).unwrap();
+    assert!(
+        b.traffic.mean_correct_bytes_per_beat < a.traffic.mean_correct_bytes_per_beat / 2.0,
+        "committee bytes/beat {} vs full {}",
+        b.traffic.mean_correct_bytes_per_beat,
+        a.traffic.mean_correct_bytes_per_beat,
+    );
+    assert!(b.extra("agreement_rate").unwrap() > 0.9, "{b:?}");
+}
+
+/// The committee stack converges through the packed wire codec and across
+/// a real byte boundary — the relay message is a first-class wire citizen.
+#[test]
+fn committee_clock_sync_converges_over_packed_bytes() {
+    let spec = ScenarioSpec::parse(
+        "clock-sync n=16 f=1 k=8 coin=ticket committee=7 adv=silent faults=corrupt-start \
+         wire=packed-bytes seed=2 budget=400",
+    )
+    .unwrap();
+    let report = default_registry().run(&spec).unwrap();
+    assert!(report.converged_at.is_some(), "{report:?}");
+    // Byte-boundary runs report identically to their in-memory twins.
+    let in_memory = ScenarioSpec::parse(
+        "clock-sync n=16 f=1 k=8 coin=ticket committee=7 adv=silent faults=corrupt-start \
+         wire=packed seed=2 budget=400",
+    )
+    .unwrap();
+    let twin = default_registry().run(&in_memory).unwrap();
+    assert_eq!(report.converged_at, twin.converged_at);
+    assert_eq!(report.final_clocks, twin.final_clocks);
+}

@@ -102,6 +102,34 @@ fn survives_repeated_storms() {
     }
 }
 
+/// Committee-targeting corruption: scramble *every* member of the
+/// committee serving at the fault beat — the strongest transient fault the
+/// rotation schedule must absorb. The epoch permutation plus the sliding
+/// window hand the coin to fresh members within `ceil(n/c)` beats, so the
+/// committee stack re-converges inside the usual contract bound instead of
+/// being owned by one poisoned committee.
+#[test]
+fn committee_stack_recovers_when_its_serving_committee_is_corrupted() {
+    use byzclock::coin::{
+        committee_clock_sync, committee_epoch_seed, committee_members, default_committee_size,
+    };
+    let (n, f, seed, fault_at) = (32usize, 1usize, 9u64, 30u64);
+    let c = default_committee_size(n);
+    let epoch_seed = committee_epoch_seed(seed);
+    let victims = committee_members(n, c, epoch_seed, fault_at);
+    let plan = FaultPlan::new(vec![FaultEvent {
+        beat: fault_at,
+        kind: FaultKind::CorruptNodes(victims),
+    }]);
+    let mut sim = SimBuilder::new(n, f).seed(seed).faults(plan).build(
+        move |cfg, rng| committee_clock_sync(cfg, 8, c, epoch_seed, rng),
+        SilentAdversary,
+    );
+    sim.run_beats(fault_at + 1);
+    let t = run_until_stable_sync(&mut sim, fault_at + 1 + 400, 8);
+    assert!(t.is_some(), "no recovery after whole-committee corruption");
+}
+
 /// Partial corruption: fewer than all nodes scrambled must also recover
 /// (and typically faster, since a correct quorum may persist).
 #[test]

@@ -9,7 +9,7 @@ use byzclock::alg::{
     ClockSyncMsg, FourClockMsg, LevelMsg, RoundMsg, SharedFourClockMsg, SlotMsg, Trit, TwoClockMsg,
 };
 use byzclock::baselines::{BaMsg, DwMsg};
-use byzclock::coin::CoinMsg;
+use byzclock::coin::{CoinMsg, CommitteeMsg};
 use byzclock::sim::{Wire, WireFormat};
 use proptest::prelude::*;
 
@@ -67,6 +67,13 @@ fn coin_msg_strategy() -> impl Strategy<Value = CoinMsg> {
     prop_oneof![rows, echo, vote, recover]
 }
 
+fn committee_msg_strategy() -> impl Strategy<Value = CommitteeMsg> {
+    prop_oneof![
+        coin_msg_strategy().prop_map(CommitteeMsg::Gvss),
+        any::<bool>().prop_map(CommitteeMsg::Relay),
+    ]
+}
+
 fn ba_msg_strategy() -> impl Strategy<Value = BaMsg> {
     (
         0u8..4,
@@ -110,6 +117,11 @@ proptest! {
     fn slot_msg_len(slot in any::<u8>(), msg in coin_msg_strategy()) {
         let m = SlotMsg { slot, msg };
         prop_assert_eq!(m.encoded_len(), actual_len(&m));
+    }
+
+    #[test]
+    fn committee_msg_len(msg in committee_msg_strategy()) {
+        prop_assert_eq!(msg.encoded_len(), actual_len(&msg));
     }
 
     #[test]
@@ -179,6 +191,13 @@ proptest! {
     }
 
     #[test]
+    fn committee_msgs_round_trip(slot in any::<u8>(), msg in committee_msg_strategy()) {
+        assert_round_trips(&msg);
+        // The shape the pipelined committee coin actually ships.
+        assert_round_trips(&SlotMsg { slot, msg });
+    }
+
+    #[test]
     fn two_and_four_clock_msgs_round_trip(t in trit_strategy(), coin in coin_msg_strategy(), which in 0u8..4) {
         let two: TwoClockMsg<CoinMsg> = match which % 2 {
             0 => TwoClockMsg::Clock(t),
@@ -227,7 +246,9 @@ proptest! {
     fn garbage_bytes_never_panic_any_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
         for format in [WireFormat::Fixed, WireFormat::Packed] {
             let _ = format.decode_from::<CoinMsg>(&bytes);
+            let _ = format.decode_from::<CommitteeMsg>(&bytes);
             let _ = format.decode_from::<SlotMsg<CoinMsg>>(&bytes);
+            let _ = format.decode_from::<SlotMsg<CommitteeMsg>>(&bytes);
             let _ = format.decode_from::<RoundMsg<()>>(&bytes);
             let _ = format.decode_from::<TwoClockMsg<CoinMsg>>(&bytes);
             let _ = format.decode_from::<FourClockMsg<CoinMsg>>(&bytes);
