@@ -7,6 +7,9 @@
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] model-check [two-clock|clock-sync|bd-clock|all] \
+//!     [--window=1|2] [--max-states=N]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     worker [--exact]
 //! ```
 //!
@@ -77,6 +80,10 @@ fn main() {
     }
     if which == "spec" {
         run_spec_lines(&args[1..]);
+        return;
+    }
+    if which == "model-check" {
+        run_model_check(&args[1..], jsonl);
         return;
     }
     if jsonl && !sweep_based {
@@ -190,6 +197,122 @@ fn run_spec_lines(lines: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// Exhaustive small-model checking (crate `byzclock-mcheck`): machine-
+/// verifies closure and convergence of the real protocol cores at tiny
+/// parameters and prints one verdict line per model (two for
+/// `clock-sync`: the layer-A 4-clock and the layer-B top layer).
+/// `bd-clock` checks window 2 — the bounded-delay operating regime — by
+/// default; `--window=1` opts into the degenerate every-beat-expires
+/// configuration whose split-tag convergence trap the checker
+/// documented (see ARCHITECTURE.md's model-checking seam). Exits
+/// nonzero on any violation; an exploration truncated by `--max-states`
+/// reports INCOMPLETE but does not fail (CI smokes under a state cap
+/// and separately enforces recorded state-count floors). With `--jsonl`,
+/// each verdict is a [`RunReport`] JSON line (violations emit a second
+/// line carrying the minimal counterexample trace).
+fn run_model_check(rest: &[String], jsonl: bool) {
+    use byzclock::mcheck::{
+        check, BdModel, CheckReport, FourClockModel, TopLayerModel, TwoClockModel, MODEL_NAMES,
+    };
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: experiments [--jsonl] model-check [{}|all] [--window=1|2] [--max-states=N]",
+            MODEL_NAMES.join("|")
+        );
+        std::process::exit(2);
+    };
+    let mut target: Option<String> = None;
+    let mut max_states: Option<usize> = None;
+    let mut window: Option<u64> = None;
+    for arg in rest {
+        if let Some(v) = arg.strip_prefix("--max-states=") {
+            max_states = Some(v.parse().unwrap_or_else(|_| usage()));
+        } else if let Some(v) = arg.strip_prefix("--window=") {
+            window = match v.parse() {
+                Ok(w @ 1..=2) => Some(w),
+                _ => usage(),
+            };
+        } else if target.is_none() && (MODEL_NAMES.contains(&arg.as_str()) || arg == "all") {
+            target = Some(arg.clone());
+        } else {
+            usage();
+        }
+    }
+    let target = target.unwrap_or_else(|| "all".to_string());
+    let wants = |name: &str| target == name || target == "all";
+    // Default caps: every menu that completes does so well under 2^19
+    // states (bd-clock window=1 fully explores at 304,374). The bd-clock
+    // window=2 space exceeds 2M canonical states — its default run is a
+    // ~30s capped sweep; raise --max-states (and budget tens of GB) to
+    // push the frontier.
+    let lockstep_cap = max_states.unwrap_or(1 << 19);
+    let bd_cap = max_states.unwrap_or(if window == Some(1) { 1 << 19 } else { 1 << 17 });
+
+    let mut violated = false;
+    let mut show = |report: CheckReport, secs: f64| {
+        if jsonl {
+            println!("{}", report.to_report().to_json());
+            if let Some(v) = &report.violation {
+                println!("{}", v.trace.to_report().to_json());
+            }
+        } else {
+            let verdict = if report.verified() {
+                "verified".to_string()
+            } else if let Some(v) = &report.violation {
+                format!("VIOLATION({})", v.kind)
+            } else {
+                "INCOMPLETE (raise --max-states)".to_string()
+            };
+            let worst = if report.max_rank == byzclock::mcheck::RANK_INF {
+                "inf".to_string()
+            } else {
+                report.max_rank_beats.to_string()
+            };
+            println!(
+                "{}: {} states={} edges={} synced={} persistent={} worst={}b bound={}b [{:.1}s]",
+                report.model,
+                verdict,
+                report.states,
+                report.edges,
+                report.synced_states,
+                report.persistent_states,
+                worst,
+                report.bound_beats,
+                secs
+            );
+            if let Some(v) = &report.violation {
+                println!("  {}", v.detail);
+                for line in v.trace.to_string().lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        violated |= report.violation.is_some();
+    };
+    if wants("two-clock") {
+        let t0 = std::time::Instant::now();
+        let r = check(&TwoClockModel::honest(4, 1), lockstep_cap);
+        show(r, t0.elapsed().as_secs_f64());
+    }
+    if wants("clock-sync") {
+        let t0 = std::time::Instant::now();
+        let r = check(&FourClockModel::new(), lockstep_cap);
+        show(r, t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        let r = check(&TopLayerModel::new(), lockstep_cap);
+        show(r, t0.elapsed().as_secs_f64());
+    }
+    if wants("bd-clock") {
+        let t0 = std::time::Instant::now();
+        let r = check(&BdModel::new(window.unwrap_or(2)), bd_cap);
+        show(r, t0.elapsed().as_secs_f64());
+    }
+    if violated {
+        std::process::exit(1);
     }
 }
 

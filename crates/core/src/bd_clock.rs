@@ -96,6 +96,33 @@ impl RoundProtocol for TickProto {
     fn corrupt(&mut self, _rng: &mut SimRng) {}
 }
 
+/// A full snapshot of the mutable protocol state of a [`BdClock`] node —
+/// everything the merge rules read, and nothing they don't (the
+/// measurement counters are excluded). Produced by
+/// [`BdClock::mc_snapshot`] and consumed by [`BdClock::mc_restore`];
+/// exists so an exhaustive model checker can canonicalize, hash, and
+/// re-enter states of the *real* core instead of a reimplementation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BdSnapshot {
+    /// Engine round index (the clock value).
+    pub round: usize,
+    /// Beats the engine has waited in the current round.
+    pub beats_waiting: u64,
+    /// Engine "fresh send due" latch.
+    pub pending_send: bool,
+    /// Engine resend latch.
+    pub resend: bool,
+    /// Whether the engine holds a cached send to re-emit (the payload is
+    /// `()`, so *whether* suffices to rebuild it).
+    pub last_send_cached: bool,
+    /// Engine wheel support: `(tag, sender)` pairs.
+    pub wheel: Vec<(usize, NodeId)>,
+    /// Freshness evidence: `(tag, sender, claimed send beat)` rows.
+    pub evidence: Vec<(usize, NodeId, u64)>,
+    /// Local beat estimate (what freshness cutoffs are measured against).
+    pub beat: u64,
+}
+
 /// The bounded-delay-tolerant `k`-clock (see the module docs for the
 /// protocol). Generic over message-free randomness substrates — the
 /// oracle beacon or local coins; the coin is consulted once per beat, so
@@ -220,6 +247,56 @@ impl<R: RandSource<Msg = ()>> BdClock<R> {
             Some(entry) => entry.1 = entry.1.max(claimed),
             None => self.evidence[tag].push((from, claimed)),
         }
+    }
+
+    // --- Model-checking hooks -------------------------------------------
+
+    /// Model-checking hook: snapshot of every mutable variable the merge
+    /// rules read (see [`BdSnapshot`]). Not part of the protocol surface.
+    pub fn mc_snapshot(&self) -> BdSnapshot {
+        let (pending_send, resend) = self.engine.mc_flags();
+        BdSnapshot {
+            round: self.engine.round(),
+            beats_waiting: self.engine.beats_waiting(),
+            pending_send,
+            resend,
+            last_send_cached: self.engine.mc_last_sends_cached(),
+            wheel: self.engine.mc_wheel(),
+            evidence: self
+                .evidence
+                .iter()
+                .enumerate()
+                .flat_map(|(tag, slot)| {
+                    slot.iter()
+                        .map(move |&(from, claimed)| (tag, from, claimed))
+                })
+                .collect(),
+            beat: self.beat,
+        }
+    }
+
+    /// Model-checking hook: restores a [`BdSnapshot`] (counters are
+    /// measurement state and keep their current values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round or tag is out of range.
+    pub fn mc_restore(&mut self, s: &BdSnapshot) {
+        self.engine
+            .mc_force(s.round, s.beats_waiting, s.pending_send, s.resend);
+        self.engine.mc_set_wheel(&s.wheel);
+        self.engine.mc_set_last_sends(if s.last_send_cached {
+            vec![(Target::All, ())]
+        } else {
+            Vec::new()
+        });
+        for slot in &mut self.evidence {
+            slot.clear();
+        }
+        for &(tag, from, claimed) in &s.evidence {
+            self.note_evidence(from, tag, claimed);
+        }
+        self.beat = s.beat;
     }
 
     /// Distinct senders that announced `tag` with a claimed send beat in

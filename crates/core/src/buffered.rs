@@ -399,6 +399,78 @@ impl<P: RoundProtocol> BufferedRounds<P> {
         Some(output)
     }
 
+    // --- Model-checking hooks -------------------------------------------
+    //
+    // `byzclock-mcheck` snapshots and restores the engine's mutable state
+    // through these (every state variable `corrupt` scrambles). They are
+    // not part of the protocol surface.
+
+    /// Model-checking hook: the send latches `(pending_send, resend)`.
+    pub fn mc_flags(&self) -> (bool, bool) {
+        (self.pending_send, self.resend)
+    }
+
+    /// Model-checking hook: whether a round's sends are cached for
+    /// re-emission.
+    pub fn mc_last_sends_cached(&self) -> bool {
+        !self.last_sends.is_empty()
+    }
+
+    /// Model-checking hook: every buffered `(round tag, sender)` pair.
+    pub fn mc_wheel(&self) -> Vec<(usize, NodeId)> {
+        let mut out = Vec::new();
+        for (tag, slot) in self.wheel.iter().enumerate() {
+            out.extend(slot.iter().map(|&(from, _)| (tag, from)));
+        }
+        out
+    }
+
+    /// Model-checking hook: overwrites round index, timer, and send
+    /// latches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round >= depth`.
+    pub fn mc_force(&mut self, round: usize, beats_waiting: u64, pending_send: bool, resend: bool) {
+        assert!(round < self.depth, "mc_force round out of range");
+        self.round = round;
+        self.beats_waiting = beats_waiting;
+        self.pending_send = pending_send;
+        self.resend = resend;
+    }
+
+    /// Model-checking hook: replaces the wheel contents with the given
+    /// `(round tag, sender)` pairs (payloads defaulted — the clock-family
+    /// protocols carry `()` payloads). Duplicated pairs collapse as in
+    /// [`BufferedRounds::ingest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tag is out of range.
+    pub fn mc_set_wheel(&mut self, entries: &[(usize, NodeId)])
+    where
+        P::Msg: Default,
+    {
+        self.clear_buffers();
+        for &(tag, from) in entries {
+            assert!(tag < self.depth, "mc_set_wheel tag out of range");
+            let seen = &mut self.seen[tag];
+            let idx = from.index();
+            if idx >= seen.len() {
+                seen.resize(idx + 1, false);
+            }
+            if !seen[idx] {
+                seen[idx] = true;
+                self.wheel[tag].push((from, P::Msg::default()));
+            }
+        }
+    }
+
+    /// Model-checking hook: overwrites the re-emission cache.
+    pub fn mc_set_last_sends(&mut self, sends: Vec<(Target, P::Msg)>) {
+        self.last_sends = sends;
+    }
+
     /// Clock-style jump: abandon the current round and continue from
     /// `round` of the running instance (timer reset, send re-armed). Only
     /// meaningful for wheels whose round index *is* the protocol state

@@ -20,6 +20,7 @@ use crate::clock::DigitalClock;
 use crate::four_clock::{FourClock, FourClockMsg};
 use crate::rand_source::RandSource;
 use crate::trit::dedup_by_sender;
+use crate::trit::Trit;
 use bytes::BytesMut;
 use byzclock_sim::{
     Application, Envelope, NodeCfg, NodeId, Outbox, SimRng, Target, Wire, WireReader,
@@ -199,6 +200,57 @@ impl<R: RandSource> ClockSync<R> {
     /// Overwrites the full clock (test/bench setup).
     pub fn set_full_clock(&mut self, v: u64) {
         self.full_clock = v % self.k;
+    }
+
+    // --- Model-checking hooks -------------------------------------------
+    //
+    // The Layer-B top-layer model in `byzclock-mcheck` restores canonical
+    // states and extracts the live-variable images of the `prev_*` receipt
+    // vectors through these. They are not part of the protocol surface.
+
+    /// Model-checking hook: overwrites the top layer's mutable state and
+    /// pins the 4-clock to a concrete sub-clock pair (so the next beat's
+    /// block dispatch reads `clock(A) = 2·a2 + a1`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn mc_restore_top(
+        &mut self,
+        a1: Trit,
+        a2: Trit,
+        full_clock: u64,
+        save: u64,
+        fulls: Vec<(NodeId, u64)>,
+        proposes: Vec<(NodeId, Option<u64>)>,
+        bits: Vec<(NodeId, bool)>,
+    ) {
+        self.four.mc_set_state(a1, a2, false);
+        self.full_clock = full_clock % self.k;
+        self.save = save % self.k;
+        self.block = None;
+        self.prev_fulls = fulls;
+        self.prev_proposes = proposes;
+        self.prev_bits = bits;
+    }
+
+    /// Model-checking hook: the propose image of `prev_fulls` — everything
+    /// block (b) will read from them.
+    pub fn mc_propose_image(&self) -> Option<u64> {
+        self.compute_propose()
+    }
+
+    /// Model-checking hook: the `(save, bit)` image of `prev_proposes` —
+    /// everything block (c) will read from them.
+    pub fn mc_save_bit_image(&self) -> (Option<u64>, bool) {
+        self.compute_save_bit()
+    }
+
+    /// Model-checking hook: the retained block (c) value.
+    pub fn mc_save(&self) -> u64 {
+        self.save
+    }
+
+    /// Model-checking hook: the bit votes block (d) will read.
+    pub fn mc_prev_bits(&self) -> &[(NodeId, bool)] {
+        &self.prev_bits
     }
 
     /// Block (b): the propose derived from the previous beat's `Full`

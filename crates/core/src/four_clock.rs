@@ -209,6 +209,16 @@ impl<R: RandSource> FourClock<R> {
         }
     }
 
+    /// Model-checking hook: overwrites the mutable protocol state — both
+    /// sub-clock values and the `A2` gate. The checker restores canonical
+    /// states through this before enumerating one beat's alternatives; it
+    /// is not part of the protocol surface.
+    pub fn mc_set_state(&mut self, a1: Trit, a2: Trit, gate_a2: bool) {
+        self.a1.set_clock(a1);
+        self.a2.set_clock(a2);
+        self.gate_a2 = gate_a2;
+    }
+
     /// Transient fault.
     pub fn scramble(&mut self, rng: &mut SimRng) {
         self.a1.scramble(rng);

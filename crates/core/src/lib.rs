@@ -54,13 +54,15 @@ mod trit;
 mod two_clock;
 
 pub use bd_clock::adversary::{RandomTagAdversary, TagEquivocator};
-pub use bd_clock::{BdClock, BdClockMsg};
+pub use bd_clock::{BdClock, BdClockMsg, BdSnapshot};
 pub use buffered::{Advance, BufferedApp, BufferedRounds, BufferedStats, RoundMsg};
 pub use clock::{all_synced, run_until_stable_sync, DigitalClock, SyncTracker};
 pub use clock_sync::{ClockSync, ClockSyncMsg};
 pub use four_clock::{FourClock, FourClockMsg, SharedFourClock, SharedFourClockMsg};
 pub use pipeline::{Pipeline, SlotMsg};
-pub use rand_source::{LocalRand, OracleBeacon, OracleDraw, OracleRand, PipelinedCoin, RandSource};
+pub use rand_source::{
+    FixedRand, LocalRand, OracleBeacon, OracleDraw, OracleRand, PipelinedCoin, RandSource,
+};
 pub use recursive::{LevelMsg, RecursiveClock};
 pub use round::{merge_metrics, CoinScheme, RoundProtocol};
 pub use trit::{dedup_by_sender, majority_literal, majority_with_rand, MajorityCount, Trit};

@@ -155,6 +155,58 @@ impl RandSource for LocalRand {
 }
 
 // ---------------------------------------------------------------------------
+// Fixed coin (model-checker branching)
+// ---------------------------------------------------------------------------
+
+/// A coin whose next outcome is *set from outside*, for drivers that
+/// enumerate both branches instead of sampling one.
+///
+/// The model checker in `byzclock-mcheck` plugs one of these into each
+/// protocol core it explores: before every deliver it sets the bit for the
+/// branch under exploration, so a single deterministic step function covers
+/// the whole coin-outcome tree. Clones share the underlying cell — the
+/// checker keeps a clone as a handle while the protocol owns the source
+/// (whose `rand_source` field is private).
+///
+/// `corrupt` is a no-op: the coin has no state of its own beyond the
+/// externally owned cell, mirroring [`OracleRand`]'s "already stabilized
+/// coin" reading.
+#[derive(Debug, Clone, Default)]
+pub struct FixedRand {
+    bit: std::rc::Rc<std::cell::Cell<bool>>,
+}
+
+impl FixedRand {
+    /// A fresh coin, initially `false`.
+    pub fn new() -> Self {
+        FixedRand::default()
+    }
+
+    /// Sets the outcome every subsequent `deliver` returns (until set
+    /// again). Shared with all clones.
+    pub fn set(&self, bit: bool) {
+        self.bit.set(bit);
+    }
+
+    /// The currently set outcome.
+    pub fn get(&self) -> bool {
+        self.bit.get()
+    }
+}
+
+impl RandSource for FixedRand {
+    type Msg = ();
+
+    fn send(&mut self, _rng: &mut SimRng, _out: &mut Vec<(Target, ())>) {}
+
+    fn deliver(&mut self, _inbox: &[(NodeId, ())], _rng: &mut SimRng) -> bool {
+        self.bit.get()
+    }
+
+    fn corrupt(&mut self, _rng: &mut SimRng) {}
+}
+
+// ---------------------------------------------------------------------------
 // Oracle beacon (ideal coin with dial-a-quality)
 // ---------------------------------------------------------------------------
 
@@ -341,6 +393,20 @@ mod tests {
         let bits: Vec<bool> = (0..64).map(|_| src.deliver(&[], &mut r)).collect();
         assert!(bits.iter().any(|&b| b));
         assert!(bits.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn fixed_rand_follows_its_handle() {
+        let handle = FixedRand::new();
+        let mut src = handle.clone();
+        let mut r = rng();
+        assert!(!src.deliver(&[], &mut r), "fresh coin starts false");
+        handle.set(true);
+        assert!(src.deliver(&[], &mut r));
+        src.corrupt(&mut r);
+        assert!(src.deliver(&[], &mut r), "corrupt does not touch the cell");
+        handle.set(false);
+        assert!(!src.deliver(&[], &mut r));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Replayable counterexample traces, exportable through the workspace's
+//! [`RunReport`] JSON machinery so checker verdicts land in the same log
+//! pipeline as simulation runs.
+
+use byzclock_core::scenario::{RunReport, TrafficSummary};
+
+/// One hop of a counterexample: which adversary choice and which coin
+/// outcome were taken, plus the canonical state the real core produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Index into [`crate::engine::Model::choices`] at the current state.
+    pub choice: usize,
+    /// Index into the chosen choice's outcomes (common first, then
+    /// adversarial).
+    pub outcome: usize,
+    /// The choice's human-readable label (adversary letters, schedule).
+    pub choice_label: String,
+    /// Whether the outcome needed an adversarial (split) coin.
+    pub adversarial_outcome: bool,
+    /// Canonical description of the successor state.
+    pub next_state: String,
+}
+
+/// A minimal replayable witness path: an initial state plus
+/// `(choice, outcome)` indices that [`crate::engine::replay`] can re-apply
+/// through the real protocol core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Model the trace belongs to.
+    pub model: String,
+    /// Canonical description of the starting state.
+    pub initial_state: String,
+    /// The hops, in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Number of engine steps in the witness.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the violation is already visible in the initial state.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Renders the trace as a [`RunReport`] so it serializes through the
+    /// workspace's JSON pipeline. The `spec` line is a self-describing
+    /// `mcheck-trace` record (model, initial state, per-step labels);
+    /// the numeric `(choice, outcome)` indices ride in `extras`, so a
+    /// parsed report still replays exactly.
+    pub fn to_report(&self) -> RunReport {
+        use std::fmt::Write as _;
+        let mut spec = format!(
+            "mcheck-trace model={} initial={}",
+            self.model, self.initial_state
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            let _ = write!(
+                spec,
+                " step{}=[{}]->{}",
+                i, step.choice_label, step.next_state
+            );
+        }
+        let mut extras = vec![("trace_steps".to_string(), self.steps.len() as f64)];
+        for (i, step) in self.steps.iter().enumerate() {
+            extras.push((format!("step{i}_choice"), step.choice as f64));
+            extras.push((format!("step{i}_outcome"), step.outcome as f64));
+            extras.push((
+                format!("step{i}_adversarial"),
+                f64::from(u8::from(step.adversarial_outcome)),
+            ));
+        }
+        RunReport {
+            spec,
+            beats: self.steps.len() as u64,
+            converged_at: None,
+            measured_from: 0,
+            final_clocks: Vec::new(),
+            final_streak: 0,
+            traffic: TrafficSummary::default(),
+            extras,
+        }
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "initial: {}", self.initial_state)?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(
+                f,
+                "  step {i}: adversary [{}]{} -> {}",
+                step.choice_label,
+                if step.adversarial_outcome {
+                    " (split coin)"
+                } else {
+                    ""
+                },
+                step.next_state
+            )?;
+        }
+        Ok(())
+    }
+}

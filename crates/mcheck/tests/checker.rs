@@ -1,0 +1,155 @@
+//! Checker-level integration tests: the seeded-bug canary, trace
+//! serialization, and the window=1 jump-rule trap the checker discovered.
+//!
+//! The exhaustive *verification* runs (hundreds of thousands of states)
+//! live in the release-mode `model-check` CLI and its CI smoke job; the
+//! tests here stay debug-mode fast by checking the small models whole and
+//! the big one through a hand-pinned witness.
+
+use byzclock_core::scenario::RunReport;
+use byzclock_mcheck::{check, replay, BdModel, Model, Trace, TraceStep, TwoClockModel};
+use byzclock_mcheck::{ViolationKind, MODEL_NAMES};
+
+/// Satellite canary: re-break the PR 5 dedup bug (duplicate-sender slots
+/// reaching the counting core) and assert the explorer finds it and
+/// minimizes the counterexample.
+#[test]
+fn canary_broken_dedup_caught_with_minimal_counterexample() {
+    let broken = TwoClockModel::broken(4, 1);
+    let report = check(&broken, 1 << 20);
+    assert!(report.complete, "tiny model must be fully explored");
+    let v = report
+        .violation
+        .as_ref()
+        .expect("the seeded dedup bug must be caught");
+    assert_eq!(v.kind, ViolationKind::Convergence);
+    // BFS explores layers in order, so the witness prefix is minimal —
+    // the double-vote traps an *initial* state, and the trace says so
+    // with zero steps rather than a meandering path.
+    assert_eq!(v.trace.len(), 0, "witness must be minimal: {}", v.trace);
+    assert!(
+        v.detail.contains("Dup"),
+        "diagnosis should name the duplicate-sender letter: {}",
+        v.detail
+    );
+    // The witness replays through the real (broken) core.
+    replay(&broken, &v.trace).expect("counterexample must replay");
+}
+
+/// The honest stack, same parameters, verifies clean — the dedup seam is
+/// exactly what separates the two verdicts.
+#[test]
+fn honest_two_clock_verifies_where_broken_fails() {
+    let report = check(&TwoClockModel::honest(4, 1), 1 << 20);
+    assert!(report.verified(), "{:?}", report.violation);
+    assert!(report.persistent_states >= 2); // all-0 and all-1 keep ticking
+    assert!(report.max_rank_beats <= report.bound_beats);
+}
+
+/// Satellite: traces serialize through the [`RunReport`] JSON machinery,
+/// and `from_json ∘ to_json` is the identity on the rendered report.
+#[test]
+fn trace_report_json_round_trips() {
+    // A synthetic trace with every field exercised (two steps, one
+    // adversarial outcome) plus a real one from the canary.
+    let synthetic = Trace {
+        model: "two-clock n=4 f=1".to_string(),
+        initial_state: "[Zero,Zero,One]".to_string(),
+        steps: vec![
+            TraceStep {
+                choice: 7,
+                outcome: 1,
+                choice_label: "n0:- n1:VZero n2:Dup(One,One)".to_string(),
+                adversarial_outcome: false,
+                next_state: "[Zero,One,One]".to_string(),
+            },
+            TraceStep {
+                choice: 0,
+                outcome: 3,
+                choice_label: "n0:- n1:- n2:-".to_string(),
+                adversarial_outcome: true,
+                next_state: "[Zero,Zero,Zero]".to_string(),
+            },
+        ],
+    };
+    let canary = check(&TwoClockModel::broken(4, 1), 1 << 20)
+        .violation
+        .expect("canary violation")
+        .trace;
+    for trace in [synthetic, canary] {
+        let report = trace.to_report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("trace report must parse");
+        assert_eq!(back.to_json(), json, "round-trip must be the identity");
+        assert_eq!(back.beats, trace.len() as u64);
+    }
+    // The check verdict itself rides the same rails.
+    let verdict = check(&TwoClockModel::honest(4, 1), 1 << 20).to_report();
+    let back = RunReport::from_json(&verdict.to_json()).expect("verdict must parse");
+    assert_eq!(back.to_json(), verdict.to_json());
+}
+
+/// The checker's own find (not a seeded bug): at `window = 1` every round
+/// expires after a single beat, so the timeout-side rules (`jump_target`,
+/// the rand-jump) fire before a quorum can ever accumulate. A Byzantine
+/// node that plays fresh claims against a 2/1 round-split of the correct
+/// nodes keeps `fresh_support > f` alive on whichever tag it needs, and
+/// an adaptive choice of letters keeps the groups swapping rounds
+/// forever, no matter the coin. The full exploration (`model-check
+/// bd-clock --window=1`) reports this as *the* convergence violation; at
+/// `window >= 2` the trap's fuel is gone (a round survives long enough
+/// for the correct announcers alone to meet the quorum before any
+/// timeout fires) and a 2M-state bounded sweep finds no violation.
+///
+/// The debug-mode test certifies the trap without the 300k-state
+/// exploration: starting from the reported counterexample state it builds
+/// a closed set `T` of unsynced states such that every member has an
+/// adversary move whose **every** common-coin outcome stays in `T`. By
+/// induction the adversary wins from anywhere in `T` under every coin
+/// sequence — a hand-checkable certificate of non-convergence, driven
+/// through the real `BdClock` core.
+#[test]
+fn window1_split_tag_trap_has_a_closed_winning_region() {
+    let model = BdModel::new(1);
+    let start = model
+        .initial_states()
+        .into_iter()
+        .find(|s| {
+            model.describe(s)
+                == "n0(r0 w0 f000 [0,0,0,0])n1(r0 w0 f001 [0,0,0,0])\
+                    n2(r2 w0 f001 [0,0,0,0]) if[0,0,0] ev[0000000000000000]"
+        })
+        .expect("the trap start is a corrupt image the model enumerates");
+    let mut region = std::collections::BTreeSet::new();
+    let mut work = vec![start];
+    while let Some(state) = work.pop() {
+        if !region.insert(state) {
+            continue;
+        }
+        assert!(region.len() <= 64, "trap region should be small and closed");
+        assert!(
+            !model.is_synced(&state),
+            "trap member must be unsynced: {}",
+            model.describe(&state)
+        );
+        let menu = model.choices(&state);
+        let trapping = menu
+            .iter()
+            .find(|c| c.common.iter().all(|o| !model.is_synced(o)))
+            .unwrap_or_else(|| {
+                panic!(
+                    "every trap member needs an all-unsynced move: {}",
+                    model.describe(&state)
+                )
+            });
+        work.extend(trapping.common.iter().cloned());
+    }
+    // The region the greedy strategy certifies is the 9-state swap cycle.
+    assert_eq!(region.len(), 9, "the certified winning region");
+}
+
+/// The CLI, the docs, and the checker agree on the model menu.
+#[test]
+fn model_names_cover_the_menu() {
+    assert_eq!(MODEL_NAMES, ["two-clock", "clock-sync", "bd-clock"]);
+}

@@ -92,6 +92,26 @@ impl<'a, M> Outbox<'a, M> {
     }
 }
 
+/// Runs one send phase of `app` outside a [`crate::Simulation`], returning
+/// the collected `(target, message)` pairs.
+///
+/// This is the enumerable single-beat driver seam: the seeded runner owns
+/// its send buffers privately, but a model checker (or any exhaustive
+/// driver) needs to execute one phase of one node at a time, branch on
+/// every adversary/coin alternative, and inspect the messages in between.
+/// Delivery needs no counterpart — [`Application::deliver`] already takes
+/// the inbox as a plain argument.
+pub fn collect_sends<A: Application>(
+    app: &mut A,
+    phase: usize,
+    rng: &mut SimRng,
+) -> Vec<(Target, A::Msg)> {
+    let mut sends = Vec::new();
+    let mut out = Outbox::new(&mut sends, rng);
+    app.send(phase, &mut out);
+    sends
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,7 +83,7 @@ mod wire;
 pub mod faults;
 
 pub use adversary::{Adversary, AdversaryView, ByzOutbox, SilentAdversary, Visibility};
-pub use app::{Application, Outbox};
+pub use app::{collect_sends, Application, Outbox};
 pub use config::{set_step_threads_override, SimBuilder};
 pub use envelope::{Envelope, Target};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};

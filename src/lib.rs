@@ -76,6 +76,9 @@ pub use byzclock_sim as sim;
 /// Table 1 comparators (crate `byzclock-baselines`).
 pub use byzclock_baselines as baselines;
 
+/// Exhaustive small-model checker (crate `byzclock-mcheck`).
+pub use byzclock_mcheck as mcheck;
+
 pub mod scenario {
     //! The workspace-wide scenario API: every protocol of the reproduction
     //! behind one declarative entry point.

@@ -258,6 +258,74 @@ fn tag_lies_cannot_stall_quorum_advancement() {
     }
 }
 
+/// The timeout edge: a quorum that completes on the exact beat the window
+/// expires must advance by the *quorum* rule — the timeout is the
+/// fallback, not a race winner. Pinned under both API orderings:
+/// [`BufferedRounds::poll`]'s internal check-quorum-then-age, and the
+/// manual `quorum_ready` / `age` / `expired` seam that `bd-clock` drives
+/// by hand (where the model checker showed the window=1 degenerate case
+/// makes this exact race the whole ballgame).
+#[test]
+fn quorum_on_exact_expiry_beat_takes_the_quorum_path() {
+    use byzclock::alg::{Advance, BufferedRounds};
+    use rand::SeedableRng;
+
+    let window = 3u64;
+    let fresh = || MixProto { acc: 0, my: 0 };
+    let quorum_inbox: Vec<(NodeId, RoundMsg<u64>)> = (0..3u16)
+        .map(|i| (NodeId::new(i), RoundMsg { round: 0, msg: 7 }))
+        .collect();
+
+    // Ordering 1: `poll`. Quiet beats age the round to one short of the
+    // window; on the edge beat the quorum lands and `poll` must fire the
+    // quorum rule even though this same call would have expired the round.
+    let mut rng = SimRng::seed_from_u64(1);
+    let mut eng: BufferedRounds<MixProto> = BufferedRounds::new(4, 3, window, fresh);
+    for _ in 0..window - 1 {
+        assert!(eng.poll(&mut rng, |_, _| fresh()).is_none());
+    }
+    assert_eq!(eng.beats_waiting(), window - 1);
+    eng.ingest(&quorum_inbox);
+    let (kind, _) = eng.poll(&mut rng, |_, _| fresh()).expect("must advance");
+    assert_eq!(kind, Advance::Quorum, "quorum must win the expiry beat");
+    assert_eq!(eng.stats().quorum_advances, 1);
+    assert_eq!(eng.stats().timeout_advances, 0);
+    assert_eq!(eng.round(), 1);
+
+    // Control: the identical schedule minus the quorum fires the timeout
+    // on that very beat — proving the edge was real.
+    let mut eng: BufferedRounds<MixProto> = BufferedRounds::new(4, 3, window, fresh);
+    for _ in 0..window - 1 {
+        assert!(eng.poll(&mut rng, |_, _| fresh()).is_none());
+    }
+    let (kind, _) = eng.poll(&mut rng, |_, _| fresh()).expect("must advance");
+    assert_eq!(kind, Advance::Timeout);
+
+    // Ordering 2: the manual seam, exactly as `bd-clock` interleaves it —
+    // quorum first, then age, then the expiry check.
+    let mut eng: BufferedRounds<MixProto> = BufferedRounds::new(4, 3, window, fresh);
+    for beat in 1..=window {
+        if beat == window {
+            eng.ingest(&quorum_inbox);
+        }
+        if eng.quorum_ready() {
+            eng.advance(Advance::Quorum, &mut rng, |_, _| fresh());
+            continue;
+        }
+        eng.age();
+        assert!(
+            !eng.expired() || beat >= window,
+            "beat {beat}: expired before the window"
+        );
+        if eng.expired() {
+            eng.advance(Advance::Timeout, &mut rng, |_, _| fresh());
+        }
+    }
+    assert_eq!(eng.stats().quorum_advances, 1);
+    assert_eq!(eng.stats().timeout_advances, 0);
+    assert_eq!(eng.round(), 1);
+}
+
 /// The engine's buffering is what closes the d1 gap mechanically: the same
 /// toy protocol that runs 1 round/beat under lockstep still completes
 /// every instance under `delay=3`, just stretched — while a synchronous

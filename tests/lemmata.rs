@@ -103,6 +103,111 @@ fn theorem_2_tail_decays() {
     );
 }
 
+/// Closure of the 2-clock beyond the exhaustively checked menu: the model
+/// checker proves closure whole at n=4, f=1; here the *same seam*
+/// ([`byzclock::mcheck::TwoClockModel::step_joint`], driving the real
+/// cores) is sampled at n=7, f=2 — from an agreed clock, every sampled
+/// Byzantine letter assignment (including duplicate-sender pairs) and
+/// every sampled coin split leaves the cluster agreed on the flipped
+/// value.
+#[test]
+fn closure_lemma_two_clock_sampled_at_n7_f2() {
+    use byzclock::mcheck::two_clock::{ByzLetter, LETTERS};
+    use byzclock::mcheck::TwoClockModel;
+    use byzclock::sim::SimRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    let model = TwoClockModel::honest(7, 2);
+    let c = 5; // correct nodes
+    let mut rng = SimRng::seed_from_u64(77);
+    for start in [Trit::Zero, Trit::One] {
+        let state = vec![start; c];
+        for trial in 0..400 {
+            let letters: Vec<Vec<ByzLetter>> = (0..c)
+                .map(|_| {
+                    (0..2)
+                        .map(|_| LETTERS[rng.random_range(0..LETTERS.len())])
+                        .collect()
+                })
+                .collect();
+            let bits: Vec<bool> = match trial % 3 {
+                0 => vec![false; c],
+                1 => vec![true; c],
+                _ => (0..c).map(|_| rng.random()).collect(),
+            };
+            let next = model.step_joint(&state, &letters, &bits);
+            assert!(
+                next.iter().all(|&t| t == start.flipped()),
+                "closure broken at n=7 f=2: {start:?} -> {next:?} under {letters:?}"
+            );
+        }
+    }
+}
+
+/// bd-clock closure at `delay >= 2` under continued Byzantine fire: the
+/// core's own closure test runs silent; here the cluster first converges
+/// *against* tag-lying adversaries and must then keep ticking once per
+/// beat, still under fire. (The checker proves closure whole at n=4,
+/// f=1, window=1 and sweeps window=2 under a state cap — this samples
+/// the same property at real scale, n=7, f=2, k=8.)
+#[test]
+fn closure_lemma_bd_clock_at_delay_2_under_tag_lies() {
+    use byzclock::alg::{
+        run_until_stable_sync, BdClock, OracleBeacon, RandomTagAdversary, TagEquivocator,
+    };
+    use byzclock::sim::TimingModel;
+
+    for delay in [2u64, 3] {
+        for seed in 0..2u64 {
+            for equivocate in [false, true] {
+                let beacon = OracleBeacon::perfect(seed.wrapping_mul(31).wrapping_add(9));
+                let build = move |cfg: byzclock::sim::NodeCfg, _rng: &mut byzclock::sim::SimRng| {
+                    BdClock::new(cfg, 8, delay, beacon.source(cfg.id))
+                };
+                let builder = SimBuilder::new(7, 2)
+                    .seed(seed)
+                    .timing(TimingModel::bounded(delay))
+                    .corrupted_start(true);
+                let (v0, trail) = if equivocate {
+                    let mut sim = builder.build(build, TagEquivocator { k: 8 });
+                    run_until_stable_sync(&mut sim, 3_000, 8).expect("converges under fire");
+                    let v0 = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
+                    let trail: Vec<_> = (0..50)
+                        .map(|_| {
+                            sim.step();
+                            all_synced(sim.correct_apps().map(|(_, a)| a.read()))
+                        })
+                        .collect();
+                    (v0, trail)
+                } else {
+                    let mut sim = builder.build(build, RandomTagAdversary { k: 8 });
+                    run_until_stable_sync(&mut sim, 3_000, 8).expect("converges under fire");
+                    let v0 = all_synced(sim.correct_apps().map(|(_, a)| a.read())).unwrap();
+                    let trail: Vec<_> = (0..50)
+                        .map(|_| {
+                            sim.step();
+                            all_synced(sim.correct_apps().map(|(_, a)| a.read()))
+                        })
+                        .collect();
+                    (v0, trail)
+                };
+                for (i, v) in trail.iter().enumerate() {
+                    let v = v.unwrap_or_else(|| {
+                        panic!(
+                            "closure broken (delay={delay} seed={seed} eq={equivocate}) beat {i}"
+                        )
+                    });
+                    assert_eq!(
+                        v,
+                        (v0 + 1 + i as u64) % 8,
+                        "synced clock skipped (delay={delay} seed={seed} eq={equivocate})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Observation 3.1 at the system level: no beat ever certifies two
 /// different values at the n - f threshold, even with equivocating
 /// Byzantine votes — detected by watching for "split flips" (two correct
