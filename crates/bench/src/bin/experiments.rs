@@ -10,6 +10,8 @@
 //!     [--jsonl] model-check [two-clock|clock-sync|bd-clock|all] \
 //!     [--window=1|2] [--max-states=N]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] lint [--rule=D1|P1|A1|W1|S1]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     worker [--exact]
 //! ```
 //!
@@ -86,10 +88,17 @@ fn main() {
         run_model_check(&args[1..], jsonl);
         return;
     }
+    if which == "lint" {
+        run_lint(&args[1..], jsonl);
+        return;
+    }
     if jsonl && !sweep_based {
         // The hand-aggregated paper tables have no JSONL form; refusing
         // beats silently mixing Markdown and JSON on one stream.
-        eprintln!("--jsonl applies to `spec` and the sweep-based `d1`/`d2`/`m1`/`m2` grids only");
+        eprintln!(
+            "--jsonl applies to `spec`, `model-check`, `lint`, and the sweep-based \
+             `d1`/`d2`/`m1`/`m2` grids only"
+        );
         std::process::exit(2);
     }
     let run_all = which == "all";
@@ -312,6 +321,90 @@ fn run_model_check(rest: &[String], jsonl: bool) {
         show(r, t0.elapsed().as_secs_f64());
     }
     if violated {
+        std::process::exit(1);
+    }
+}
+
+/// `experiments lint [--rule=ID]`: runs the `byzclock-lint` invariant
+/// pass over the workspace (the static half of the machine-checking
+/// story — `model-check` is the dynamic half). One verdict line per
+/// rule, one diagnostic line per unsuppressed finding, exit 1 when the
+/// workspace is not clean. With `--jsonl` each verdict is a
+/// [`RunReport`] line (`spec: "lint rule=D1 files=N"`, `beats` carrying
+/// the finding count) and each finding rides the same rails with its
+/// `file=`/`line=` packed into the spec string, so CI greps one format.
+fn run_lint(rest: &[String], jsonl: bool) {
+    use byzclock::lint::{workspace_root, RULES};
+
+    let usage = || -> ! {
+        eprintln!(
+            "usage: experiments [--jsonl] lint [--rule={}]",
+            RULES.join("|")
+        );
+        std::process::exit(2);
+    };
+    let mut rule: Option<String> = None;
+    for arg in rest {
+        if let Some(v) = arg.strip_prefix("--rule=") {
+            rule = Some(v.to_string());
+        } else {
+            usage();
+        }
+    }
+    let Some(root) = workspace_root() else {
+        eprintln!("no lint.toml found above the current directory");
+        std::process::exit(2);
+    };
+    let report = byzclock::lint::run(&root, rule.as_deref()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    for r in &report.results {
+        if jsonl {
+            let verdict = RunReport {
+                spec: format!("lint rule={} files={}", r.rule, report.files),
+                beats: r.findings.len() as u64,
+                converged_at: r.findings.is_empty().then_some(0),
+                measured_from: 0,
+                final_clocks: Vec::new(),
+                final_streak: 0,
+                traffic: Default::default(),
+                extras: vec![
+                    ("findings".to_string(), r.findings.len() as f64),
+                    ("suppressed".to_string(), r.suppressed as f64),
+                ],
+            };
+            println!("{}", verdict.to_json());
+            for f in &r.findings {
+                let diag = RunReport {
+                    spec: format!(
+                        "lint finding rule={} file={} line={} message={}",
+                        f.rule, f.file, f.line, f.message
+                    ),
+                    beats: u64::from(f.line),
+                    converged_at: None,
+                    measured_from: 0,
+                    final_clocks: Vec::new(),
+                    final_streak: 0,
+                    traffic: Default::default(),
+                    extras: Vec::new(),
+                };
+                println!("{}", diag.to_json());
+            }
+        } else {
+            println!(
+                "{}: {} finding(s), {} suppressed ({} files)",
+                r.rule,
+                r.findings.len(),
+                r.suppressed,
+                report.files
+            );
+            for f in &r.findings {
+                println!("  {f}");
+            }
+        }
+    }
+    if !report.clean() {
         std::process::exit(1);
     }
 }

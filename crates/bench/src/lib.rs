@@ -16,6 +16,8 @@
 //! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     [--jsonl] spec "<scenario line>" ["<scenario line>" ...]
 //! cargo run --release -p byzclock-bench --bin experiments -- \
+//!     [--jsonl] lint [--rule=D1|P1|A1|W1|S1]
+//! cargo run --release -p byzclock-bench --bin experiments -- \
 //!     worker [--exact]
 //! ```
 //!
@@ -38,6 +40,16 @@
 //! ```text
 //! experiments spec "clock-sync n=7 f=2 k=64 coin=ticket delay=2"
 //! ```
+//!
+//! **`lint` subcommand.** Runs the `byzclock-lint` invariant pass (the
+//! workspace's static contracts: `D1` determinism, `P1` decode
+//! panic-freedom, `A1` hot-path allocation, `W1` wire coverage, `S1`
+//! spec-key drift — see the `byzclock-lint` crate docs and
+//! ARCHITECTURE.md's "static-analysis seam" section). One verdict per
+//! rule, one diagnostic per unsuppressed finding, exit 1 when the
+//! workspace is not clean; with `--jsonl` both ride the
+//! `RunReport::to_json` rails (`spec: "lint rule=D1 files=N"`).
+//! `--rule=ID` restricts the pass to one rule.
 //!
 //! **`--jsonl`.** Switches output to one stable-keyed JSON line per
 //! executed spec (diffable, archivable). It applies to `spec` and to the

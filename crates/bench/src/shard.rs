@@ -64,7 +64,7 @@
 //! finished under processes (or vice versa).
 
 use byzclock::scenario::{ProtocolRegistry, RunReport, ScenarioError, ScenarioSpec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -629,11 +629,11 @@ fn mode_tag(exact: bool) -> &'static str {
 /// spec line. A missing file is an empty manifest; malformed lines (torn
 /// tails, hand edits) are skipped, and entries for other modes or other
 /// grids are simply never looked up.
-pub fn load_manifest(path: &Path, exact: bool) -> HashMap<String, RunReport> {
+pub fn load_manifest(path: &Path, exact: bool) -> BTreeMap<String, RunReport> {
     let Ok(file) = File::open(path) else {
-        return HashMap::new();
+        return BTreeMap::new();
     };
-    let mut cached = HashMap::new();
+    let mut cached = BTreeMap::new();
     for line in BufReader::new(file).lines() {
         let Ok(line) = line else { break };
         if let Some(report) = parse_manifest_line(&line, exact) {

@@ -595,6 +595,9 @@ impl GvssCore {
                     // unusable point sets never become a batch.
                     self.decode_stats.batches += u64::from(decoder.is_some());
                     self.alloc_stats.decoder_builds += 1;
+                    // lint:allow(A1): decoder-cache build is the cold path —
+                    // it runs once per distinct point set per run, not per
+                    // beat, and `decoder_builds` counts prove it in tests.
                     ws.decoders.push((xs.clone(), decoder));
                     ws.decoders.len() - 1
                 }

@@ -120,7 +120,9 @@ fn put_bitset(bits: &[bool], buf: &mut BytesMut) {
 /// Reads `len` flags from a bitset.
 fn get_bitset(r: &mut WireReader<'_>, len: usize) -> Option<Vec<bool>> {
     let bytes = r.take(len.div_ceil(8))?;
-    Some((0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    (0..len)
+        .map(|i| Some(bytes.get(i / 8)? >> (i % 8) & 1 == 1))
+        .collect()
 }
 
 /// Packed encoding of an element matrix with per-row presence: the shared

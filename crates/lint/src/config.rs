@@ -1,0 +1,172 @@
+//! `lint.toml` — the checked-in rule configuration.
+//!
+//! A hand-rolled parser for the minimal TOML subset the config needs
+//! (the build environment has no external crates, in keeping with the
+//! compat-stub approach): `[section]` headers, `key = "value"` strings,
+//! and `key = ["a", "b"]` string arrays (single- or multi-line), with
+//! `#` comments. Everything else is a parse error — the config is part
+//! of the contract and must not half-load.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration: `sections[section][key] -> values`. Scalar
+/// strings are single-element lists.
+#[derive(Debug, Default)]
+pub struct Config {
+    sections: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl Config {
+    /// Parses `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("lint.toml:{}: {msg}: `{raw}`", n + 1);
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                cfg.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = value` or `[section]`"));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim();
+            let values = if let Some(body) = value.strip_prefix('[') {
+                // Accumulate (comment-stripped) lines until the `]`.
+                let mut body = body.trim_end().to_string();
+                while !body.ends_with(']') {
+                    let Some((_, cont)) = lines.next() else {
+                        return Err(err("unterminated array"));
+                    };
+                    body.push_str(strip_comment(cont).trim());
+                }
+                let body = &body[..body.len() - 1];
+                let mut items = Vec::new();
+                for item in split_top_level(body) {
+                    let item = item.trim();
+                    if item.is_empty() {
+                        continue;
+                    }
+                    items.push(unquote(item).ok_or_else(|| err("array items must be strings"))?);
+                }
+                items
+            } else {
+                vec![unquote(value).ok_or_else(|| err("values must be quoted strings"))?]
+            };
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, values);
+        }
+        Ok(cfg)
+    }
+
+    /// The string list at `[section] key`, empty when absent.
+    pub fn list(&self, section: &str, key: &str) -> &[String] {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The scalar at `[section] key`.
+    pub fn get(&self, section: &str, key: &str) -> Option<&str> {
+        self.list(section, key).first().map(String::as_str)
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Splits an array body on commas outside quotes.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+/// `"text"` → `text`.
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let cfg = Config::parse(
+            "# top comment\n\
+             [d1]\n\
+             banned = [\"HashMap\", \"Instant\"] # trailing\n\
+             [p1]\n\
+             trait = \"Wire\"\n\
+             empty = []\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("d1", "banned"), ["HashMap", "Instant"]);
+        assert_eq!(cfg.get("p1", "trait"), Some("Wire"));
+        assert!(cfg.list("p1", "empty").is_empty());
+        assert!(cfg.list("p1", "missing").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("loose words\n").is_err());
+        assert!(Config::parse("[s]\nk = bare\n").is_err());
+        assert!(Config::parse("[s]\nk = [\"a\",\n").is_err());
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let cfg = Config::parse(
+            "[a1]\n\
+             functions = [\n\
+                 \"x.rs#f\", # hot path\n\
+                 \"y.rs#g\",\n\
+             ]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.list("a1", "functions"), ["x.rs#f", "y.rs#g"]);
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = Config::parse("[d1]\nallow = [\"src/a.rs#Instant\"]\n").unwrap();
+        assert_eq!(cfg.list("d1", "allow"), ["src/a.rs#Instant"]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Findings and the `lint:allow` suppression grammar.
+//!
+//! A finding is suppressed by a comment of the form
+//!
+//! ```text
+//! // lint:allow(RULE): <reason>
+//! ```
+//!
+//! placed on the offending line or in the contiguous comment block
+//! immediately above it (blank lines break the block, so a stale allow
+//! cannot drift away from its target). A bare `lint:allow(RULE)` with no
+//! reason suppresses nothing and is itself reported — justifications are
+//! part of the contract, not decoration.
+
+use crate::lexer::Tok;
+use std::fmt;
+
+/// One diagnostic: rule id, location, offending snippet, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    /// The offending construct, shortened.
+    pub snippet: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — `{}`",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// One `lint:allow` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub line: u32,
+    pub has_reason: bool,
+}
+
+/// Per-file suppression index: directives plus the line classification
+/// needed to walk contiguous comment blocks.
+#[derive(Debug)]
+pub struct AllowIndex {
+    allows: Vec<Allow>,
+    /// Lines that carry at least one non-comment token.
+    code_lines: Vec<u32>,
+    /// Lines that carry at least one comment token.
+    comment_lines: Vec<u32>,
+}
+
+impl AllowIndex {
+    /// Builds the index from a file's token stream.
+    pub fn build(toks: &[Tok]) -> AllowIndex {
+        let mut allows = Vec::new();
+        let mut code_lines = Vec::new();
+        let mut comment_lines = Vec::new();
+        for t in toks {
+            if t.is_comment() {
+                comment_lines.push(t.line);
+                // Directives live in plain comments only: doc comments
+                // (`///`, `//!`, `/**`, `/*!`) merely *describe* the
+                // grammar and must not act as suppressions.
+                if is_doc_comment(t) {
+                    continue;
+                }
+                for (rule, has_reason, offset) in parse_allow(&t.text) {
+                    allows.push(Allow {
+                        rule,
+                        line: t.line + offset,
+                        has_reason,
+                    });
+                }
+            } else {
+                code_lines.push(t.line);
+            }
+        }
+        code_lines.dedup();
+        comment_lines.dedup();
+        AllowIndex {
+            allows,
+            code_lines,
+            comment_lines,
+        }
+    }
+
+    fn is_code_line(&self, line: u32) -> bool {
+        self.code_lines.binary_search(&line).is_ok()
+    }
+
+    fn is_comment_line(&self, line: u32) -> bool {
+        self.comment_lines.binary_search(&line).is_ok() && !self.is_code_line(line)
+    }
+
+    /// Whether a finding for `rule` at `line` is suppressed by a
+    /// reasoned allow on that line or in the comment block above it.
+    pub fn suppresses(&self, rule: &str, line: u32) -> bool {
+        self.reachable_allows(line)
+            .any(|a| a.rule == rule && a.has_reason)
+    }
+
+    /// All directives that *aim* at `line` (reasoned or not).
+    fn reachable_allows(&self, line: u32) -> impl Iterator<Item = &Allow> {
+        // The block above: walk up through comment-only lines.
+        let mut first = line;
+        while first > 1 && self.is_comment_line(first - 1) {
+            first -= 1;
+        }
+        self.allows
+            .iter()
+            .filter(move |a| a.line == line || (a.line >= first && a.line < line))
+    }
+
+    /// Every bare (reason-less) directive in the file — each is its own
+    /// violation.
+    pub fn bare_allows(&self) -> impl Iterator<Item = &Allow> {
+        self.allows.iter().filter(|a| !a.has_reason)
+    }
+
+    /// Reasoned directives naming a rule outside `known` — a typo'd rule
+    /// id would otherwise suppress nothing, silently. (Bare directives
+    /// are already reported by [`AllowIndex::bare_allows`].)
+    pub fn unknown_rules<'a>(&'a self, known: &'a [&str]) -> impl Iterator<Item = &'a Allow> {
+        self.allows
+            .iter()
+            .filter(move |a| a.has_reason && !known.contains(&a.rule.as_str()))
+    }
+}
+
+/// Whether a comment token is a doc comment (`///`, `//!`, `/**`,
+/// `/*!`) rather than a plain one. The lexer strips the `//`/`/*`
+/// delimiters, so docness shows as the first retained character.
+/// `////…` banners and `/**/` are not docs per the reference grammar,
+/// but treating them as docs is safe — a directive never belongs in
+/// either.
+fn is_doc_comment(t: &Tok) -> bool {
+    let first = t.text.chars().next();
+    match t.kind {
+        crate::lexer::TokKind::LineComment => matches!(first, Some('/') | Some('!')),
+        crate::lexer::TokKind::BlockComment => matches!(first, Some('*') | Some('!')),
+        _ => false,
+    }
+}
+
+/// Extracts `lint:allow(RULE)` directives from one comment's text.
+/// Returns `(rule, has_reason, line offset within the comment)`.
+fn parse_allow(text: &str) -> Vec<(String, bool, u32)> {
+    let mut out = Vec::new();
+    for (off, line) in text.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("lint:allow(") {
+            rest = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_string();
+            let tail = rest[close + 1..].trim_start();
+            let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+            if !rule.is_empty() {
+                out.push((rule, has_reason, off as u32));
+            }
+            rest = &rest[close + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn allow_grammar_extracts_rule_and_reason() {
+        assert_eq!(
+            parse_allow(" lint:allow(D1): lookup-only cache"),
+            vec![("D1".to_string(), true, 0)]
+        );
+        assert_eq!(
+            parse_allow(" lint:allow(D1)"),
+            vec![("D1".to_string(), false, 0)]
+        );
+        assert_eq!(
+            parse_allow(" lint:allow(D1):   "),
+            vec![("D1".to_string(), false, 0)]
+        );
+    }
+
+    #[test]
+    fn same_line_and_block_above_suppress_but_gaps_do_not() {
+        let idx = AllowIndex::build(&lex("// lint:allow(D1): block comment, first line\n\
+             // continuation prose\n\
+             use std::collections::HashMap;\n\
+             \n\
+             let a = HashMap::new(); // lint:allow(D1): same line\n\
+             // lint:allow(D1): orphaned by the blank line below\n\
+             \n\
+             let b = HashMap::new();\n"));
+        assert!(idx.suppresses("D1", 3), "comment block above");
+        assert!(idx.suppresses("D1", 5), "same line");
+        assert!(!idx.suppresses("D1", 8), "blank line breaks the block");
+        assert!(!idx.suppresses("P1", 3), "rule must match");
+    }
+
+    #[test]
+    fn bare_allows_are_surfaced() {
+        let idx = AllowIndex::build(&lex("// lint:allow(A1)\nx.clone();\n"));
+        assert_eq!(idx.bare_allows().count(), 1);
+        assert!(!idx.suppresses("A1", 2));
+    }
+}

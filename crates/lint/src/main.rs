@@ -1,0 +1,70 @@
+//! Standalone entry point: `cargo run -p byzclock-lint`.
+//!
+//! Prints one summary line per rule and one diagnostic per unsuppressed
+//! finding, exits 1 when the workspace is not clean. `--jsonl` emits
+//! one hand-rolled JSON object per finding (the `experiments lint`
+//! subcommand is the path that wraps verdicts as full `RunReport`
+//! lines — use it where the JSON rails matter).
+
+use byzclock_lint::{run, workspace_root, RULES};
+
+fn main() {
+    let mut jsonl = false;
+    let mut rule: Option<String> = None;
+    let mut root: Option<std::path::PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--jsonl" {
+            jsonl = true;
+        } else if let Some(v) = arg.strip_prefix("--rule=") {
+            rule = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--root=") {
+            root = Some(std::path::PathBuf::from(v));
+        } else {
+            eprintln!(
+                "usage: byzclock-lint [--jsonl] [--rule={}] [--root=PATH]",
+                RULES.join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+    let Some(root) = root.or_else(workspace_root) else {
+        eprintln!("no lint.toml found above the current directory (pass --root=PATH)");
+        std::process::exit(2);
+    };
+    let report = run(&root, rule.as_deref()).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    for r in &report.results {
+        if jsonl {
+            println!(
+                "{{\"rule\":{:?},\"findings\":{},\"suppressed\":{},\"files\":{}}}",
+                r.rule,
+                r.findings.len(),
+                r.suppressed,
+                report.files
+            );
+        } else {
+            println!(
+                "{}: {} finding(s), {} suppressed ({} files)",
+                r.rule,
+                r.findings.len(),
+                r.suppressed,
+                report.files
+            );
+        }
+        for f in &r.findings {
+            if jsonl {
+                println!(
+                    "{{\"rule\":{:?},\"file\":{:?},\"line\":{},\"message\":{:?},\"snippet\":{:?}}}",
+                    f.rule, f.file, f.line, f.message, f.snippet
+                );
+            } else {
+                println!("  {f}");
+            }
+        }
+    }
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

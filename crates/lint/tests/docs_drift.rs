@@ -1,0 +1,71 @@
+//! Keeps the prose honest: ARCHITECTURE.md's static-analysis seam and
+//! the README quickstart must track the linter that actually ships —
+//! the rule menu, the allow grammar, the CLI spelling — and the real
+//! workspace must actually lint clean, so the documented "runs clean,
+//! CI-gated" claim can never silently rot.
+
+use byzclock_lint::{run, workspace_root, RULES};
+
+fn repo_doc(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn architecture_documents_the_static_analysis_seam() {
+    let doc = repo_doc("ARCHITECTURE.md");
+    assert!(
+        doc.contains("## The static-analysis seam"),
+        "ARCHITECTURE.md lost the static-analysis section"
+    );
+    for rule in RULES {
+        assert!(
+            doc.contains(&format!("`{rule}`")),
+            "section must name the `{rule}` rule"
+        );
+    }
+    // The crate exists in the crate map.
+    assert!(doc.contains("byzclock-lint"), "crate map lost the linter");
+    // The design points the enforcement story rests on.
+    for needle in [
+        "lint.toml",
+        "lint:allow(RULE): <reason>",
+        "ignored by design",
+        "tests/fixtures",
+    ] {
+        assert!(doc.contains(needle), "section lost its `{needle}` point");
+    }
+}
+
+#[test]
+fn readme_quickstart_spells_the_cli() {
+    let readme = repo_doc("README.md");
+    assert!(
+        readme.contains("cargo run --release -p byzclock-bench --bin experiments -- lint"),
+        "README quickstart lost the lint line"
+    );
+}
+
+/// The documented claim is re-derived, not trusted: the real workspace
+/// lints clean under all five rules. This is the same pass CI gates on
+/// via `experiments lint --jsonl`.
+#[test]
+fn the_workspace_lints_clean() {
+    let root = workspace_root().expect("repo root with lint.toml");
+    let report = run(&root, None).expect("lint pass");
+    assert_eq!(report.results.len(), RULES.len(), "all five rules active");
+    for r in &report.results {
+        assert!(
+            r.findings.is_empty(),
+            "rule {} has unsuppressed findings:\n{}",
+            r.rule,
+            r.findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

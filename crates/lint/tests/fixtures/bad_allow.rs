@@ -1,0 +1,7 @@
+fn setup() {
+    // lint:allow(D1)
+    let t = Instant::now();
+    // lint:allow(Z9): beat counters are not wall clocks
+    let u = Instant::now();
+    let _ = (t, u);
+}

@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+// lint:allow(D1): lookup-only memo, iteration order never observed
+fn memo(h: &HashMap<u32, u32>) -> u32 {
+    h.len() as u32
+}
+
+fn fresh() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,20 @@
+pub struct ScenarioSpec;
+
+impl ScenarioSpec {
+    pub const KEYS: [&str; 2] = ["n", "f"];
+
+    pub fn parse(line: &str) -> Option<ScenarioSpec> {
+        match line {
+            "n" => {}
+            "k" => {}
+            _ => {}
+        }
+        None
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} f={}", 0, 0)
+    }
+}

@@ -1,0 +1,7 @@
+pub struct Orphan;
+
+impl Wire for Orphan {
+    fn encode(&self, buf: &mut BytesMut) {
+        let _ = buf;
+    }
+}

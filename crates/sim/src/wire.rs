@@ -154,24 +154,25 @@ impl<'a> WireReader<'a> {
 
     /// Consumes one byte.
     pub fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|b| b[0])
+        self.take(1).and_then(|b| b.first().copied())
     }
 
     /// Consumes a big-endian `u16`.
     pub fn u16(&mut self) -> Option<u16> {
-        self.take(2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+        let b = self.take(2)?;
+        Some(u16::from_be_bytes(b.try_into().ok()?))
     }
 
     /// Consumes a big-endian `u32`.
     pub fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        let b = self.take(4)?;
+        Some(u32::from_be_bytes(b.try_into().ok()?))
     }
 
     /// Consumes a big-endian `u64`.
     pub fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|b| u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        let b = self.take(8)?;
+        Some(u64::from_be_bytes(b.try_into().ok()?))
     }
 }
 
